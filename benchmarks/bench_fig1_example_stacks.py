@@ -1,0 +1,37 @@
+"""Fig. 1: example CPI stacks at dispatch, issue and commit for one app.
+
+The paper's motivating figure: the same execution, three different stacks.
+The frontend components (bpred/icache) are largest at dispatch; the
+backend components (dcache/alu/depend) largest at commit.
+"""
+
+from repro.core.components import (
+    BACKEND_COMPONENTS,
+    FRONTEND_COMPONENTS,
+)
+from repro.experiments.runner import run_case
+from repro.viz.ascii import render_cpi_stack
+
+from benchmarks.conftest import run_once
+
+
+def test_fig1_example_stacks(benchmark, reporter):
+    result = run_once(benchmark, lambda: run_case("mcf", "bdw"))
+    report = result.report
+    scale = result.cpi
+    for stack in (report.dispatch, report.issue, report.commit):
+        reporter.emit(render_cpi_stack(stack, scale=scale))
+        reporter.emit()
+
+    # Shape assertions: the Fig. 1 stage disagreement.
+    fe_dispatch = sum(report.dispatch.get(c) for c in FRONTEND_COMPONENTS)
+    fe_commit = sum(report.commit.get(c) for c in FRONTEND_COMPONENTS)
+    be_dispatch = sum(report.dispatch.get(c) for c in BACKEND_COMPONENTS)
+    be_commit = sum(report.commit.get(c) for c in BACKEND_COMPONENTS)
+    reporter.emit(
+        f"frontend cycles: dispatch {fe_dispatch:.0f} >= commit "
+        f"{fe_commit:.0f}; backend cycles: commit {be_commit:.0f} >= "
+        f"dispatch {be_dispatch:.0f}"
+    )
+    assert fe_dispatch > fe_commit
+    assert be_commit > be_dispatch

@@ -1,0 +1,155 @@
+"""Fig. 3: selected multi-stage CPI stacks before/after idealization.
+
+Five case studies, each demonstrating one phenomenon:
+
+* (a) mcf/BDW    — bpred delta inside the dispatch/commit bounds; the
+                   dcache delta better predicted by commit.
+* (b) cactus/BDW — unified-L2 I$/D$ coupling: perfecting the D-cache
+                   shrinks the *icache* component (second-order effect).
+* (c) bwaves/BDW — L2-MSHR/bandwidth contention from prefetches: a large
+                   measured icache component whose removal gains ~nothing,
+                   while a perfect D-cache recovers most of the CPI.
+* (d) povray/KNL — the Microcode component exists; idealization deltas
+                   land near the multi-stage bounds.
+* (e) imagick/KNL— the issue stack's producer lookup exposes multi-cycle
+                   ALU latency that dispatch/commit call 'depend'.
+"""
+
+import pytest
+
+from repro.core.components import Component
+from repro.experiments.idealization import fig3_case
+from repro.viz.ascii import render_cpi_stack
+
+from benchmarks.conftest import run_once
+
+
+def _emit_case(reporter, study):
+    report = study.baseline.report
+    reporter.emit(
+        f"{study.workload} on {study.preset}: baseline CPI "
+        f"{study.baseline.cpi:.3f}"
+    )
+    for stack in (report.dispatch, report.issue, report.commit):
+        reporter.emit(render_cpi_stack(stack, scale=study.baseline.cpi))
+        reporter.emit()
+    for name, result in study.idealized.items():
+        reporter.emit(
+            f"{name}: CPI {result.cpi:.3f} "
+            f"(delta {study.baseline.cpi - result.cpi:+.3f})"
+        )
+
+
+def test_fig3a_mcf_bdw(benchmark, reporter):
+    study = run_once(benchmark, lambda: fig3_case("fig3a"))
+    _emit_case(reporter, study)
+    report = study.baseline.report
+    # Dispatch over-estimates bpred, commit under-estimates it, and the
+    # actual delta lies between (or near) them.
+    d_bpred = report.dispatch.component_cpi(Component.BPRED)
+    c_bpred = report.commit.component_cpi(Component.BPRED)
+    assert d_bpred > c_bpred
+    bpred_delta = study.delta("perfect-bpred")
+    reporter.emit(
+        f"\nbpred: dispatch {d_bpred:.3f} / commit {c_bpred:.3f} / actual "
+        f"{bpred_delta:.3f}"
+    )
+    # The actual delta lies between the bounds, allowing a margin above
+    # the dispatch component: squashing in-flight chase loads makes each
+    # misprediction slightly costlier than the frontend-only accounting
+    # sees (a second-order effect; see EXPERIMENTS.md).
+    assert c_bpred - 0.05 <= bpred_delta <= 1.3 * d_bpred
+    # The dcache delta is better predicted by the commit stack.
+    dcache_delta = study.delta("perfect-dcache")
+    d_err = abs(report.dispatch.component_cpi(Component.DCACHE)
+                - dcache_delta)
+    c_err = abs(report.commit.component_cpi(Component.DCACHE)
+                - dcache_delta)
+    reporter.emit(
+        f"dcache: dispatch err {d_err:.3f} vs commit err {c_err:.3f}"
+    )
+    assert c_err < d_err
+
+
+def test_fig3b_cactus_bdw(benchmark, reporter):
+    study = run_once(benchmark, lambda: fig3_case("fig3b"))
+    _emit_case(reporter, study)
+    base_icache = study.baseline.report.dispatch.component_cpi(
+        Component.ICACHE
+    )
+    ideal_icache = study.idealized[
+        "perfect-dcache"
+    ].report.dispatch.component_cpi(Component.ICACHE)
+    reporter.emit(
+        f"\nicache component: baseline {base_icache:.3f} -> "
+        f"{ideal_icache:.3f} with a perfect D-cache (unified-L2 coupling)"
+    )
+    # Sec. V-A: "the Icache component reduces when the L1 Dcache is made
+    # perfect, which is the case in this example."
+    assert ideal_icache < 0.6 * base_icache
+
+
+def test_fig3c_bwaves_bdw(benchmark, reporter):
+    study = run_once(benchmark, lambda: fig3_case("fig3c"))
+    _emit_case(reporter, study)
+    report = study.baseline.report
+    icache_measured = max(
+        report.stack(stage).component_cpi(Component.ICACHE)
+        for stage in (report.stacks)
+    )
+    icache_delta = study.delta("perfect-icache")
+    dcache_delta = study.delta("perfect-dcache")
+    reporter.emit(
+        f"\nicache component up to {icache_measured:.3f}, but a perfect "
+        f"L1I gains only {icache_delta:+.3f} CPI (queueing transfers to "
+        f"the contended L2 MSHRs); a perfect D-cache gains "
+        f"{dcache_delta:+.3f}."
+    )
+    # Paper: "the observed reduction is less than 0.01".
+    assert icache_measured > 0.15 * study.baseline.cpi
+    assert abs(icache_delta) < 0.05 * icache_measured
+    assert dcache_delta > 0.4 * study.baseline.cpi
+
+
+def test_fig3d_povray_knl(benchmark, reporter):
+    study = run_once(benchmark, lambda: fig3_case("fig3d"))
+    _emit_case(reporter, study)
+    report = study.baseline.report
+    micro = report.dispatch.component_cpi(Component.MICROCODE)
+    reporter.emit(f"\nMicrocode component at dispatch: {micro:.3f}")
+    assert micro > 0, "the Fig. 3d Microcode component must appear"
+    # The idealization deltas stay within (or near) the stage bounds.
+    low, high = report.component_bounds(Component.ALU_LAT)
+    alu_delta = study.delta("1-cycle-alu")
+    reporter.emit(
+        f"1-cycle ALU delta {alu_delta:.3f} vs bounds [{low:.3f}, "
+        f"{high:.3f}]"
+    )
+    assert alu_delta <= high + 0.05
+    low_b, high_b = report.component_bounds(Component.BPRED)
+    bpred_delta = study.delta("perfect-bpred")
+    assert low_b - 0.05 <= bpred_delta <= high_b + 0.05
+
+
+def test_fig3e_imagick_knl(benchmark, reporter):
+    study = run_once(benchmark, lambda: fig3_case("fig3e"))
+    _emit_case(reporter, study)
+    report = study.baseline.report
+    # The unique value of the issue stage: dispatch/commit blame `depend`;
+    # the producer lookup blames the executing multi-cycle op.
+    issue_alu = report.issue.component_cpi(Component.ALU_LAT)
+    commit_alu = report.commit.component_cpi(Component.ALU_LAT)
+    commit_dep = report.commit.component_cpi(Component.DEPEND)
+    reporter.emit(
+        f"\nissue alu {issue_alu:.3f} vs commit alu {commit_alu:.3f} "
+        f"(+ commit depend {commit_dep:.3f})"
+    )
+    assert issue_alu > commit_alu
+    alu_delta = study.delta("1-cycle-alu")
+    reporter.emit(
+        f"1-cycle ALU delta {alu_delta:.3f} ~ issue component "
+        f"{issue_alu:.3f} (+ recovered dependences)"
+    )
+    # The actual gain is at least the issue-stack prediction (it also
+    # recovers the dependence stalls the chain caused).
+    assert alu_delta >= 0.8 * issue_alu

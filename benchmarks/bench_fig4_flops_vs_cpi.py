@@ -1,0 +1,57 @@
+"""Fig. 4: normalized FLOPS-stack minus CPI-stack differences, DeepBench.
+
+Paper shape claims:
+
+* the FLOPS base component is always *smaller* than the CPI base
+  (negative base difference), and the gap is much larger on KNL than SKX
+  (2-wide KNL needs *every* micro-op to be an FMA to close it);
+* sgemm on KNL is compensated mainly by `mem` (JIT memory-operand FMAs
+  wait on the L1), sgemm on SKX shows a small base gap (~-5%);
+* the convolution groups show large differences on both machines, with
+  visible `mem` contributions.
+"""
+
+from repro.core.components import FlopsComponent
+from repro.experiments.flops_study import figure4_differences
+from repro.viz.ascii import render_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig4_flops_vs_cpi(benchmark, reporter):
+    diffs = run_once(benchmark, figure4_differences)
+    shown = [
+        c for c in FlopsComponent
+        if any(abs(v.get(c, 0.0)) > 0.001 for v in diffs.values())
+    ]
+    rows = []
+    for (group, preset), values in diffs.items():
+        row = {"group": group, "machine": preset}
+        row.update({c.value: values.get(c, 0.0) for c in shown})
+        rows.append(row)
+    reporter.emit(
+        "Fig. 4: normalized FLOPS-stack component minus CPI-stack "
+        "component (sums to 0 per row)"
+    )
+    reporter.emit(render_table(rows, float_format="{:+.3f}"))
+    reporter.emit_csv("series", rows)
+
+    base = {key: v[FlopsComponent.BASE] for key, v in diffs.items()}
+    # Base difference negative everywhere.
+    assert all(v < 0 for v in base.values()), base
+    # And much larger (more negative) on KNL than SKX for sgemm.
+    assert base[("sgemm-train", "knl")] < 3 * base[("sgemm-train", "skx")]
+    reporter.emit(
+        f"\nbase diff sgemm-train: KNL {base[('sgemm-train', 'knl')]:+.3f} "
+        f"vs SKX {base[('sgemm-train', 'skx')]:+.3f}"
+    )
+    # sgemm/KNL compensated dominantly by the memory component.
+    knl_sgemm = diffs[("sgemm-train", "knl")]
+    compensators = {
+        c: v for c, v in knl_sgemm.items()
+        if c is not FlopsComponent.BASE and v > 0
+    }
+    assert max(compensators, key=compensators.get) is FlopsComponent.MEM
+    # Every row sums to ~zero (both stacks are normalized partitions).
+    for key, values in diffs.items():
+        assert abs(sum(values.values())) < 1e-9, key

@@ -1,0 +1,67 @@
+"""Fig. 5: IPC stack vs FLOPS stack for one conv-train-fwd config on SKX,
+without and with a perfect D-cache.
+
+Paper shape: IPC is near ideal (3.7 of 4) while FLOPS reaches only ~43% of
+peak; the FLOPS stack explains the gap via frontend (too few VFP
+micro-ops), memory (FMAs waiting on loads) and dependences.  Making the
+D-cache perfect raises both IPC and FLOPS (paper: +0.2 each in their
+units) and shrinks the FLOPS memory component.
+"""
+
+from repro.core.components import FlopsComponent
+from repro.experiments.flops_study import figure5_case
+from repro.viz.ascii import render_stack_bar
+from repro.core.components import FLOPS_COMPONENTS
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5_conv_stack(benchmark, reporter):
+    case = run_once(benchmark, figure5_case)
+    max_ipc = 4.0
+    peak_gflops = 2 * 2 * 16 * 2.1 * 26  # k=2, v=16, 2.1 GHz, 26 cores
+
+    for idealized, label in ((False, "baseline"),
+                             (True, "perfect Dcache")):
+        ipc = case.ipc_stack(idealized)
+        flops = case.flops_stack(idealized)
+        reporter.emit(f"--- {label} ---")
+        reporter.emit("IPC stack (height = max IPC = 4):")
+        reporter.emit(render_stack_bar(ipc, order=list(ipc),
+                                       scale=max_ipc,
+                                       value_format="{:.2f}"))
+        reporter.emit("FLOPS stack (socket GFLOPS; height = peak):")
+        reporter.emit(render_stack_bar(flops, order=FLOPS_COMPONENTS,
+                                       scale=peak_gflops,
+                                       value_format="{:,.0f}"))
+        reporter.emit()
+
+    base_frac = case.baseline.report.flops.achieved_fraction()
+    ipc_frac = case.baseline.ipc / max_ipc
+    reporter.emit(
+        f"baseline: IPC at {ipc_frac:.0%} of max while FLOPS at "
+        f"{base_frac:.0%} of peak"
+    )
+    # The Fig. 5 contrast: IPC looks healthy, FLOPS does not.
+    assert ipc_frac > 0.7
+    assert base_frac < 0.55
+    assert ipc_frac - base_frac > 0.2
+
+    # Perfect Dcache: both IPC and FLOPS improve; mem component shrinks.
+    ideal = case.perfect_dcache
+    assert ideal.ipc > case.baseline.ipc
+    ideal_frac = ideal.report.flops.achieved_fraction()
+    assert ideal_frac > base_frac
+    base_mem = case.baseline.report.flops.normalized().get(
+        FlopsComponent.MEM, 0.0
+    )
+    ideal_mem = ideal.report.flops.normalized().get(
+        FlopsComponent.MEM, 0.0
+    )
+    reporter.emit(
+        f"perfect Dcache: FLOPS {base_frac:.0%} -> {ideal_frac:.0%}, "
+        f"mem component {base_mem:.1%} -> {ideal_mem:.1%}"
+    )
+    assert ideal_mem < base_mem
+    # The Unsched component (threads yielding on synchronization) exists.
+    assert case.baseline.report.flops.get(FlopsComponent.UNSCHED) > 0

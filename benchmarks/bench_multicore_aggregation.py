@@ -1,0 +1,57 @@
+"""Socket-level aggregation (paper Sec. IV methodology).
+
+The paper aggregates per-thread stacks into socket-level figures:
+averaging CPI stacks component per component and adding FLOPS stacks.
+This bench runs a DeepBench kernel as several homogeneous threads,
+aggregates, and checks the premises: threads are homogeneous, the
+aggregate preserves the single-thread component shape, and socket FLOPS
+scales with the thread count.
+"""
+
+from repro.config.presets import skylake_x
+from repro.core.components import CPI_COMPONENTS
+from repro.experiments.multicore import simulate_socket
+from repro.viz.ascii import render_cpi_stack, render_flops_stack
+
+from benchmarks.conftest import run_once
+
+THREADS = 4
+
+
+def test_multicore_aggregation(benchmark, reporter):
+    result = run_once(
+        benchmark,
+        lambda: simulate_socket(
+            "gemm-train-1760-skx", skylake_x(), threads=THREADS,
+            instructions=8000,
+        ),
+    )
+    reporter.emit(
+        f"{THREADS}-thread socket aggregate of gemm-train-1760 on SKX "
+        f"(homogeneity: max CPI deviation "
+        f"{100 * result.homogeneity():.1f}%)"
+    )
+    reporter.emit(render_cpi_stack(result.commit))
+    reporter.emit()
+    if result.flops is not None:
+        reporter.emit(
+            render_flops_stack(result.flops, 2.1, cores=THREADS)
+        )
+        reporter.emit(
+            f"socket: {result.socket_gflops():,.0f} GFLOPS over "
+            f"{THREADS} threads"
+        )
+
+    # Homogeneity premise (Sec. IV): per-thread CPIs agree closely.
+    assert result.homogeneity() < 0.1
+    # The aggregate preserves the single-thread component shape.
+    single = result.per_thread[0].report.commit
+    for component in CPI_COMPONENTS:
+        agg = result.commit.component_cpi(component)
+        one = single.component_cpi(component)
+        assert abs(agg - one) < 0.1 * max(single.cpi(), 1e-9) + 1e-6, (
+            component
+        )
+    # Socket FLOPS is per-thread FLOPS times the thread count.
+    per_thread = result.flops.gflops(2.1)
+    assert result.socket_gflops() == THREADS * per_thread

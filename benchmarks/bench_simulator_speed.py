@@ -1,0 +1,25 @@
+"""Simulator throughput: committed micro-ops per host second.
+
+Not a paper figure — a harness health metric, useful when sizing traces.
+pytest-benchmark's timing is authoritative here (multiple rounds of a
+fixed simulation).
+"""
+
+from repro.config.presets import broadwell
+from repro.experiments.runner import get_trace
+from repro.pipeline.core import simulate
+
+
+def test_simulator_throughput(benchmark, reporter):
+    trace = get_trace("exchange2", 10_000, 1)
+    config = broadwell()
+
+    result = benchmark.pedantic(
+        lambda: simulate(trace, config), rounds=3, iterations=1
+    )
+    reporter.emit(
+        f"exchange2 on BDW: {result.committed_uops} uops in "
+        f"{result.cycles} cycles; ~{result.simulated_uops_per_second:,.0f} "
+        "simulated uops/s (single round)"
+    )
+    assert result.simulated_uops_per_second > 5_000

@@ -1,0 +1,45 @@
+"""Table I: CPI components by idealizing structures.
+
+Paper values (for shape reference):
+
+    mcf on KNL   all real 1.41 | 1-cyc ALU -0.02 | perf D$ -0.30 | both -0.36
+    mcf on BDW   all real 0.72 | perf bpred -0.33 | perf D$ -0.29 | both -0.47
+
+The KNL rows must show the *hidden-stall* effect (combined delta larger
+than the sum of the individual deltas) and the BDW rows the *overlap*
+effect (combined delta smaller than the sum).
+"""
+
+from repro.experiments.idealization import table1_rows
+from repro.viz.ascii import render_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark, reporter):
+    rows = run_once(benchmark, table1_rows)
+    reporter.emit("Table I: CPI components by idealizing structures")
+    reporter.emit(render_table(rows))
+
+    by_app: dict[str, dict[str, float]] = {}
+    for row in rows:
+        if row["diff"] is not None:
+            by_app.setdefault(row["app"], {})[row["config"]] = row["diff"]
+
+    knl = by_app["mcf on KNL"]
+    knl_sum = knl["1-cycle-alu"] + knl["perfect-dcache"]
+    knl_both = knl["1-cycle-alu+perfect-dcache"]
+    reporter.emit(
+        f"\nKNL: sum of parts {knl_sum:.3f} vs combined {knl_both:.3f} "
+        f"-> hidden stalls {'REPRODUCED' if knl_both > knl_sum else 'NOT seen'}"
+    )
+    assert knl_both > knl_sum, "hidden ALU stalls (Table I, KNL)"
+
+    bdw = by_app["mcf on BDW"]
+    bdw_sum = bdw["perfect-bpred"] + bdw["perfect-dcache"]
+    bdw_both = bdw["perfect-bpred+perfect-dcache"]
+    reporter.emit(
+        f"BDW: sum of parts {bdw_sum:.3f} vs combined {bdw_both:.3f} "
+        f"-> overlap {'REPRODUCED' if bdw_both < bdw_sum else 'NOT seen'}"
+    )
+    assert bdw_both < bdw_sum, "overlapping penalties (Table I, BDW)"

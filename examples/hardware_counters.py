@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Hardware-feasible wrong-path accounting (paper Sec. III-B).
+
+A hardware implementation cannot know at dispatch time whether a micro-op
+is wrong-path.  The paper proposes two strategies:
+
+* SIMPLE  — count everything, then move the surplus base (vs. the commit
+            stack, which never sees wrong-path work) into the bpred
+            component;
+* SPECULATIVE — per-basic-block speculative counters that merge into the
+            global counters at block commit and drain into the bpred
+            component on a squash.
+
+This example runs all three modes on a mispredict-heavy workload and
+compares the dispatch stacks.
+
+Run:  python examples/hardware_counters.py
+"""
+
+from repro import WrongPathMode, get_preset, make_trace, simulate
+from repro.core.components import CPI_COMPONENTS
+from repro.viz import render_table
+
+
+def main() -> None:
+    trace = make_trace("leela", instructions=20_000)
+    config = get_preset("bdw")
+
+    stacks = {}
+    for mode in WrongPathMode:
+        result = simulate(
+            trace, config, mode=mode, warmup_instructions=6_000
+        )
+        assert result.report is not None
+        stacks[mode] = result.report.dispatch
+
+    rows = []
+    for component in CPI_COMPONENTS:
+        values = {
+            mode.value: stacks[mode].component_cpi(component)
+            for mode in WrongPathMode
+        }
+        if any(v > 0.001 for v in values.values()):
+            rows.append({"component": component.value, **values})
+    print("Dispatch-stage CPI components by wrong-path strategy:")
+    print(render_table(rows))
+    print(
+        "\nEXACT uses functional-first knowledge; SIMPLE recovers most of\n"
+        "the bpred component from the base-difference correction; the\n"
+        "SPECULATIVE per-block counters track EXACT closely — the paper's\n"
+        "recommended hardware design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""FLOPS-stack analysis of HPC kernels (paper Sec. III-C, V-B).
+
+Simulates DeepBench-like sgemm kernels in the two code styles the paper
+describes — KNL MKL-JIT (FMA with memory operands) and SKX (broadcast +
+register FMAs) — plus a convolution, and prints the issue-stage CPI stack
+next to the FLOPS stack.  The interesting part: a kernel can have
+near-ideal IPC while achieving only a fraction of peak FLOPS, and the
+FLOPS stack says why.
+
+Run:  python examples/hpc_flops_analysis.py
+"""
+
+from repro import get_preset
+from repro.experiments.runner import run_case
+from repro.viz import render_cpi_stack, render_flops_stack
+
+KERNELS = (
+    ("gemm-train-1760-knl", "knl"),
+    ("gemm-train-1760-skx", "skx"),
+    ("conv-vgg-2-fwd", "skx"),
+)
+
+
+def main() -> None:
+    for name, preset in KERNELS:
+        config = get_preset(preset)
+        result = run_case(name, preset, instructions=15_000)
+        report = result.report
+        assert report is not None and report.flops is not None
+        print("=" * 72)
+        print(
+            f"{name} on {preset.upper()}: IPC {result.ipc:.2f} of "
+            f"{config.accounting_width} | achieved "
+            f"{report.flops.achieved_fraction():.0%} of peak FLOPS"
+        )
+        print()
+        print(render_cpi_stack(report.issue))
+        print()
+        print(
+            render_flops_stack(
+                report.flops, config.frequency_ghz, config.socket_cores
+            )
+        )
+        print()
+    print(
+        "Note the KNL JIT kernel's large `mem` component (FMAs split into\n"
+        "load + FMA micro-ops wait on the L1) versus the SKX kernel's\n"
+        "broadcast-induced losses — the paper's Sec. V-B contrast."
+    )
+
+
+if __name__ == "__main__":
+    main()

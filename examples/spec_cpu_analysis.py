@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""SPEC-CPU-style bottleneck analysis with idealization validation.
+
+Reproduces the paper's core methodology (Sec. IV-V) on a small scale: for a
+couple of workloads, measure the multi-stage CPI stacks, then re-simulate
+with one structure made perfect and compare the actual CPI reduction to the
+bounds predicted by the stacks.
+
+Run:  python examples/spec_cpu_analysis.py
+"""
+
+from repro import Component
+from repro.config.idealize import IDEALIZATIONS
+from repro.experiments.idealization import run_study
+from repro.viz import render_table
+
+CASES = (
+    ("mcf", "bdw", Component.BPRED),
+    ("mcf", "bdw", Component.DCACHE),
+    ("imagick", "knl", Component.ALU_LAT),
+    ("leela", "bdw", Component.BPRED),
+)
+
+
+def main() -> None:
+    rows = []
+    for workload, preset, component in CASES:
+        ideal = IDEALIZATIONS[component]
+        study = run_study(
+            workload, preset, (ideal,), instructions=20_000
+        )
+        report = study.baseline.report
+        assert report is not None
+        low, high = report.component_bounds(component)
+        actual = study.delta(ideal.name)
+        rows.append(
+            {
+                "workload": workload,
+                "core": preset,
+                "component": component.value,
+                "dispatch": report.dispatch.component_cpi(component),
+                "issue": report.issue.component_cpi(component),
+                "commit": report.commit.component_cpi(component),
+                "actual_delta": actual,
+                "within_bounds": low <= actual <= high,
+            }
+        )
+    print("Predicted component (per stack) vs actual CPI reduction:")
+    print(render_table(rows))
+    print(
+        "\nNo single stack is right everywhere: dispatch and commit "
+        "bracket the actual gain, and the [min, max] across stages is the "
+        "paper's bound.  Where the actual delta escapes the bounds, a "
+        "second-order effect is at work (removing one stall source also "
+        "shrinks another's penalty) — exactly the cases the paper calls "
+        "impossible for any additive stack to capture."
+    )
+
+
+if __name__ == "__main__":
+    main()

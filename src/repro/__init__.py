@@ -1,0 +1,57 @@
+"""repro — Multi-stage CPI stacks and FLOPS stacks (ISPASS 2018).
+
+A full reproduction of Eyerman, Heirman, Du Bois and Hur, "Extending the
+Performance Analysis Tool Box: Multi-Stage CPI Stacks and FLOPS Stacks",
+ISPASS 2018, built on a from-scratch cycle-level out-of-order core
+simulator.
+
+Quickstart::
+
+    from repro import simulate, make_trace, get_preset
+
+    result = simulate(make_trace("mcf"), get_preset("bdw"))
+    print(result.report.dispatch.cpi_components())
+"""
+
+from repro.config import get_preset, idealize
+from repro.config.idealize import (
+    PERFECT_BPRED,
+    PERFECT_DCACHE,
+    PERFECT_ICACHE,
+    SINGLE_CYCLE_ALU,
+)
+from repro.core import (
+    Component,
+    CpiStack,
+    FlopsComponent,
+    FlopsStack,
+    MultiStageReport,
+    Stage,
+    WrongPathMode,
+)
+from repro.pipeline import CoreSimulator, SimResult, simulate
+from repro.workloads import get_workload, make_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Component",
+    "CoreSimulator",
+    "CpiStack",
+    "FlopsComponent",
+    "FlopsStack",
+    "MultiStageReport",
+    "PERFECT_BPRED",
+    "PERFECT_DCACHE",
+    "PERFECT_ICACHE",
+    "SINGLE_CYCLE_ALU",
+    "SimResult",
+    "Stage",
+    "WrongPathMode",
+    "__version__",
+    "get_preset",
+    "get_workload",
+    "idealize",
+    "make_trace",
+    "simulate",
+]

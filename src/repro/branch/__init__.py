@@ -1,0 +1,25 @@
+"""Branch prediction substrate: direction predictors and a BTB."""
+
+from repro.branch.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    BranchTargetBuffer,
+    GsharePredictor,
+    PerfectPredictor,
+    Prediction,
+    TournamentPredictor,
+    make_predictor,
+)
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "GsharePredictor",
+    "PerfectPredictor",
+    "Prediction",
+    "TournamentPredictor",
+    "make_predictor",
+]

@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro run --workload mcf --core bdw          # one simulation + stacks
+    repro workloads                              # list the registry
+    repro presets                                # list machine presets
+    repro table1                                 # Table I reproduction
+    repro fig3 --case fig3a                      # one Fig. 3 case study
+    repro fig5                                   # IPC vs FLOPS stacks
+    repro overhead                               # accounting overhead
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config.presets import PRESETS, get_preset
+from repro.core.components import FLOPS_COMPONENTS
+from repro.core.wrongpath import WrongPathMode
+from repro.experiments.idealization import FIG3_CASES, fig3_case, table1_rows
+from repro.experiments.flops_study import figure5_case
+from repro.experiments.overhead import measure_overhead
+from repro.experiments.runner import run_case
+from repro.viz.ascii import (
+    render_cpi_stack,
+    render_flops_stack,
+    render_stack_bar,
+    render_table,
+)
+from repro.workloads.registry import WORKLOADS
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mode = WrongPathMode(args.mode)
+    result = run_case(
+        args.workload,
+        args.core,
+        instructions=args.instructions,
+        seed=args.seed,
+        mode=mode,
+        use_cache=False,
+    )
+    print(
+        f"{args.workload} on {args.core}: "
+        f"cycles={result.cycles} uops={result.committed_uops} "
+        f"CPI={result.cpi:.3f} IPC={result.ipc:.3f} "
+        f"mispredict={result.mispredict_rate:.3f}"
+    )
+    report = result.report
+    assert report is not None
+    for stack in (report.dispatch, report.issue, report.commit):
+        print()
+        print(render_cpi_stack(stack))
+    if args.flops and report.flops is not None:
+        config = get_preset(args.core)
+        print()
+        print(
+            render_flops_stack(
+                report.flops, config.frequency_ghz, config.socket_cores
+            )
+        )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "models": spec.models,
+            "character": spec.character,
+            "default_instrs": spec.default_instructions,
+        }
+        for spec in WORKLOADS.values()
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_presets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in PRESETS:
+        config = get_preset(name)
+        rows.append(
+            {
+                "name": name,
+                "width": config.dispatch_width,
+                "rob": config.rob_size,
+                "rs": config.rs_size,
+                "vpus": config.vector_units,
+                "lanes": config.vector_lanes,
+                "freq_ghz": config.frequency_ghz,
+                "peak_gflops/core": config.peak_flops_per_cycle
+                * config.frequency_ghz,
+            }
+        )
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1_rows(instructions=args.instructions, seed=args.seed)
+    print("Table I: CPI components by idealizing structures")
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    study = fig3_case(args.case, instructions=args.instructions)
+    report = study.baseline.report
+    assert report is not None
+    print(
+        f"{args.case}: {study.workload} on {study.preset} "
+        f"(baseline CPI {study.baseline.cpi:.3f})"
+    )
+    for stack in (report.dispatch, report.issue, report.commit):
+        print()
+        print(render_cpi_stack(stack))
+    print()
+    for name, result in study.idealized.items():
+        print(
+            f"{name}: CPI {result.cpi:.3f} "
+            f"(delta {study.baseline.cpi - result.cpi:+.3f})"
+        )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    case = figure5_case(instructions=args.instructions)
+    config = get_preset(case.preset)
+    max_ipc = float(config.accounting_width)
+    for idealized, label in ((False, "baseline"), (True, "perfect Dcache")):
+        print(f"--- {label} ---")
+        print("IPC stack (height = max IPC):")
+        print(
+            render_stack_bar(
+                case.ipc_stack(idealized),
+                order=list(case.ipc_stack(idealized)),
+                scale=max_ipc,
+            )
+        )
+        print("FLOPS stack (socket GFLOPS):")
+        print(
+            render_stack_bar(
+                case.flops_stack(idealized),
+                order=FLOPS_COMPONENTS,
+                scale=config.socket_peak_gflops,
+                value_format="{:,.0f}",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_socket(args: argparse.Namespace) -> int:
+    from repro.experiments.multicore import simulate_socket
+
+    config = get_preset(args.core)
+    result = simulate_socket(
+        args.workload,
+        config,
+        threads=args.threads,
+        instructions=args.instructions,
+    )
+    print(
+        f"{args.threads}-thread socket of {args.workload} on "
+        f"{args.core}: aggregate CPI {result.cpi:.3f} "
+        f"(thread homogeneity: {100 * result.homogeneity():.1f}% max "
+        "deviation)"
+    )
+    print()
+    print(render_cpi_stack(result.commit))
+    if result.flops is not None:
+        print()
+        print(
+            render_flops_stack(
+                result.flops, config.frequency_ghz, args.threads
+            )
+        )
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    result = measure_overhead(
+        workload=args.workload,
+        preset=args.core,
+        instructions=args.instructions or 10_000,
+    )
+    print(
+        f"accounting on: {result.seconds_with:.3f}s  "
+        f"off: {result.seconds_without:.3f}s  "
+        f"overhead: {100 * result.overhead_fraction:.1f}%"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-stage CPI stacks and FLOPS stacks (ISPASS 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("--workload", default="mcf", choices=sorted(WORKLOADS))
+    run.add_argument("--core", default="bdw", choices=sorted(PRESETS))
+    run.add_argument("--instructions", type=int, default=None)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--mode",
+        default="exact",
+        choices=[m.value for m in WrongPathMode],
+        help="wrong-path discernment strategy (Sec. III-B)",
+    )
+    run.add_argument("--flops", action="store_true",
+                     help="also print the FLOPS stack")
+    run.set_defaults(func=_cmd_run)
+
+    wl = sub.add_parser("workloads", help="list available workloads")
+    wl.set_defaults(func=_cmd_workloads)
+
+    pr = sub.add_parser("presets", help="list machine presets")
+    pr.set_defaults(func=_cmd_presets)
+
+    t1 = sub.add_parser("table1", help="reproduce Table I")
+    t1.add_argument("--instructions", type=int, default=None)
+    t1.add_argument("--seed", type=int, default=1)
+    t1.set_defaults(func=_cmd_table1)
+
+    f3 = sub.add_parser("fig3", help="reproduce a Fig. 3 case study")
+    f3.add_argument("--case", default="fig3a", choices=sorted(FIG3_CASES))
+    f3.add_argument("--instructions", type=int, default=None)
+    f3.set_defaults(func=_cmd_fig3)
+
+    f5 = sub.add_parser("fig5", help="reproduce Fig. 5 (IPC vs FLOPS)")
+    f5.add_argument("--instructions", type=int, default=None)
+    f5.set_defaults(func=_cmd_fig5)
+
+    sk = sub.add_parser(
+        "socket", help="aggregate homogeneous threads (paper Sec. IV)"
+    )
+    sk.add_argument("--workload", default="gemm-train-1760-skx",
+                    choices=sorted(WORKLOADS))
+    sk.add_argument("--core", default="skx", choices=sorted(PRESETS))
+    sk.add_argument("--threads", type=int, default=4)
+    sk.add_argument("--instructions", type=int, default=None)
+    sk.set_defaults(func=_cmd_socket)
+
+    ov = sub.add_parser("overhead", help="measure accounting overhead")
+    ov.add_argument("--workload", default="mcf", choices=sorted(WORKLOADS))
+    ov.add_argument("--core", default="bdw", choices=sorted(PRESETS))
+    ov.add_argument("--instructions", type=int, default=None)
+    ov.set_defaults(func=_cmd_overhead)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

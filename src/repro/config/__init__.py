@@ -1,0 +1,48 @@
+"""Machine configurations: core, cache-hierarchy and memory parameters.
+
+Presets model the three machines used in the paper's evaluation — an Intel
+Broadwell-like core (BDW), a Knights Landing-like core (KNL) and a
+Skylake-X-like core (SKX) — with uncore resources scaled per core, as the
+paper does ("all uncore components are scaled down by the socket core
+count").
+"""
+
+from repro.config.cores import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    MemoryConfig,
+    PrefetcherConfig,
+    TlbConfig,
+)
+from repro.config.idealize import (
+    IDEALIZATIONS,
+    Idealization,
+    idealize,
+)
+from repro.config.presets import (
+    PRESETS,
+    broadwell,
+    get_preset,
+    knights_landing,
+    skylake_x,
+    tiny_core,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "IDEALIZATIONS",
+    "Idealization",
+    "MemoryConfig",
+    "PRESETS",
+    "PrefetcherConfig",
+    "TlbConfig",
+    "broadwell",
+    "get_preset",
+    "idealize",
+    "knights_landing",
+    "skylake_x",
+    "tiny_core",
+]

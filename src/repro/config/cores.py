@@ -1,0 +1,222 @@
+"""Configuration dataclasses for the simulated machine.
+
+All structures are frozen: an idealization produces a *new* config via
+:func:`dataclasses.replace`, so baseline and idealized simulations can run
+side by side from one preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa.uops import UopClass, WrongPathTemplate
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    #: Access latency in cycles (hit latency at this level).
+    latency: int = 4
+    #: Number of miss-status-holding registers (outstanding misses).
+    mshrs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(
+                "cache size must be a multiple of associativity * line size"
+            )
+        sets = self.size_bytes // (self.associativity * self.line_bytes)
+        if sets & (sets - 1):
+            raise ValueError(f"number of sets must be a power of two, got {sets}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True, slots=True)
+class DramConfig:
+    """Main-memory latency/bandwidth model (per-core share of the socket)."""
+
+    #: Unloaded access latency in core cycles.
+    latency: int = 180
+    #: Minimum cycles between line transfers (per-core bandwidth share).
+    cycles_per_line: float = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetcherConfig:
+    """Stream prefetcher sitting at the L2, trained by L1D demand misses."""
+
+    enabled: bool = True
+    #: Maximum concurrently tracked streams.
+    streams: int = 8
+    #: Prefetches issued per trigger.
+    degree: int = 2
+    #: How many lines ahead of the demand stream to fetch.
+    distance: int = 16
+    #: Strided accesses needed before a stream starts prefetching.
+    train_threshold: int = 2
+
+
+@dataclass(frozen=True, slots=True)
+class TlbConfig:
+    """A simple TLB: fixed entries, LRU, constant page-walk penalty."""
+
+    entries: int = 64
+    page_bytes: int = 4096
+    miss_penalty: int = 20
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryConfig:
+    """The full memory hierarchy: split L1s, unified L2, optional L3, DRAM.
+
+    The L2 (and L3) are unified between instructions and data; this coupling
+    is what produces the second-order I$/D$ interaction of Fig. 3(b).
+    """
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    #: Optional last-level cache (KNL has none; misses go to (MC)DRAM).
+    l3: CacheConfig | None
+    dram: DramConfig = field(default_factory=DramConfig)
+    prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    itlb: TlbConfig = field(default_factory=lambda: TlbConfig(entries=64))
+    dtlb: TlbConfig = field(default_factory=lambda: TlbConfig(entries=64))
+
+
+#: Default execution latencies per micro-op class, overridden per preset.
+DEFAULT_LATENCIES: dict[UopClass, int] = {
+    UopClass.NOP: 1,
+    UopClass.ALU: 1,
+    UopClass.MUL: 3,
+    UopClass.DIV: 20,
+    UopClass.BRANCH: 1,
+    UopClass.LOAD: 0,  # loads take their latency from the memory hierarchy
+    UopClass.STORE: 1,
+    UopClass.FP_ADD: 3,
+    UopClass.FP_MUL: 3,
+    UopClass.FP_DIV: 20,
+    UopClass.FMA: 5,
+    UopClass.VEC_INT: 1,
+    UopClass.BROADCAST: 3,
+    UopClass.SYNC: 1,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CoreConfig:
+    """Out-of-order core parameters plus idealization switches.
+
+    Widths are expressed in micro-ops per cycle.  ``issue_width`` may be
+    wider than dispatch/commit (as on real cores); the accounting layer
+    normalizes to the minimum width per Sec. III-A.
+    """
+
+    name: str
+    # --- pipeline widths (micro-ops per cycle) ---
+    fetch_width: int = 4
+    decode_width: int = 4
+    dispatch_width: int = 4
+    issue_width: int = 8
+    commit_width: int = 4
+    # --- window resources ---
+    rob_size: int = 224
+    rs_size: int = 60
+    store_queue_size: int = 42
+    uop_queue_size: int = 28
+    # --- functional units ---
+    alu_units: int = 4
+    mul_units: int = 1
+    vector_units: int = 2
+    load_ports: int = 2
+    store_ports: int = 1
+    branch_units: int = 2
+    #: SIMD lanes per vector unit (single precision).
+    vector_lanes: int = 8
+    # --- latencies ---
+    latencies: dict[UopClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES)
+    )
+    #: Micro-op classes whose unit is busy for the full latency (unpipelined).
+    unpipelined: frozenset[UopClass] = frozenset(
+        {UopClass.DIV, UopClass.FP_DIV}
+    )
+    # --- frontend ---
+    #: Cycles from mispredict resolution until correct-path uops re-enter
+    #: the uop queue (frontend refill).
+    redirect_penalty: int = 7
+    #: Micro-ops the microcode sequencer emits per cycle.
+    microcode_uops_per_cycle: int = 1
+    wrong_path: WrongPathTemplate = field(default_factory=WrongPathTemplate)
+    # --- branch predictor ---
+    predictor: str = "gshare"
+    predictor_bits: int = 12
+    btb_entries: int = 2048
+    # --- memory hierarchy ---
+    memory: MemoryConfig | None = None
+    # --- socket-level reporting ---
+    frequency_ghz: float = 2.4
+    socket_cores: int = 18
+    # --- idealization switches (Sec. IV: "simulations where certain
+    #     components are idealized") ---
+    perfect_icache: bool = False
+    perfect_dcache: bool = False
+    perfect_bpred: bool = False
+    single_cycle_alu: bool = False
+
+    def __post_init__(self) -> None:
+        for width_name in (
+            "fetch_width",
+            "decode_width",
+            "dispatch_width",
+            "issue_width",
+            "commit_width",
+        ):
+            if getattr(self, width_name) < 1:
+                raise ValueError(f"{width_name} must be >= 1")
+        if self.rob_size < self.dispatch_width:
+            raise ValueError("ROB must hold at least one dispatch group")
+        if self.rs_size < 1 or self.store_queue_size < 1:
+            raise ValueError("window resources must be positive")
+
+    @property
+    def accounting_width(self) -> int:
+        """W for the accounting algorithms: the minimum stage width.
+
+        Sec. III-A: "Instead of using the actual width of the stage, we
+        propose to set W as the minimum of all stage widths."
+        """
+        return min(self.dispatch_width, self.issue_width, self.commit_width)
+
+    def latency_of(self, uclass: UopClass) -> int:
+        """Execution latency for ``uclass`` under this configuration."""
+        if self.single_cycle_alu and uclass not in (
+            UopClass.LOAD,
+            UopClass.STORE,
+            UopClass.BRANCH,
+            UopClass.SYNC,
+        ):
+            return 1
+        return self.latencies[uclass]
+
+    @property
+    def peak_flops_per_cycle(self) -> int:
+        """Maximum FLOPs per cycle: 2 * k * v (FMA on every VU lane)."""
+        return 2 * self.vector_units * self.vector_lanes
+
+    @property
+    def socket_peak_gflops(self) -> float:
+        """Socket-level peak GFLOPS (per-core peak times core count)."""
+        return (
+            self.peak_flops_per_cycle * self.frequency_ghz * self.socket_cores
+        )
+
+    def with_memory(self, memory: MemoryConfig) -> "CoreConfig":
+        return replace(self, memory=memory)

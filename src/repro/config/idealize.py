@@ -1,0 +1,83 @@
+"""Idealization transforms (paper Sec. IV, "Experimental Setup").
+
+The paper quantifies the *actual* impact of a stall source by re-simulating
+with that source made perfect: "a perfect L1 Icache (each access hits in L1),
+a perfect L1 Dcache, perfect branch prediction (including perfect target
+prediction), and single-latency instructions".  An idealization here is a
+named set of switches applied to a :class:`CoreConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.cores import CoreConfig
+from repro.core.components import Component
+
+
+@dataclass(frozen=True, slots=True)
+class Idealization:
+    """A named combination of perfected structures.
+
+    ``targets`` names the CPI components whose actual impact this
+    idealization measures, used when comparing a stack component against the
+    observed CPI delta (Fig. 2).
+    """
+
+    name: str
+    perfect_icache: bool = False
+    perfect_dcache: bool = False
+    perfect_bpred: bool = False
+    single_cycle_alu: bool = False
+    targets: tuple[Component, ...] = ()
+
+    def apply(self, config: CoreConfig) -> CoreConfig:
+        """Return ``config`` with this idealization's switches set."""
+        return replace(
+            config,
+            name=f"{config.name}+{self.name}",
+            perfect_icache=config.perfect_icache or self.perfect_icache,
+            perfect_dcache=config.perfect_dcache or self.perfect_dcache,
+            perfect_bpred=config.perfect_bpred or self.perfect_bpred,
+            single_cycle_alu=config.single_cycle_alu or self.single_cycle_alu,
+        )
+
+    def __or__(self, other: "Idealization") -> "Idealization":
+        """Combine two idealizations (e.g. perfect bpred AND Dcache)."""
+        return Idealization(
+            name=f"{self.name}+{other.name}",
+            perfect_icache=self.perfect_icache or other.perfect_icache,
+            perfect_dcache=self.perfect_dcache or other.perfect_dcache,
+            perfect_bpred=self.perfect_bpred or other.perfect_bpred,
+            single_cycle_alu=self.single_cycle_alu or other.single_cycle_alu,
+            targets=tuple(dict.fromkeys(self.targets + other.targets)),
+        )
+
+
+PERFECT_ICACHE = Idealization(
+    "perfect-icache", perfect_icache=True, targets=(Component.ICACHE,)
+)
+PERFECT_DCACHE = Idealization(
+    "perfect-dcache", perfect_dcache=True, targets=(Component.DCACHE,)
+)
+PERFECT_BPRED = Idealization(
+    "perfect-bpred", perfect_bpred=True, targets=(Component.BPRED,)
+)
+SINGLE_CYCLE_ALU = Idealization(
+    "1-cycle-alu", single_cycle_alu=True, targets=(Component.ALU_LAT,)
+)
+
+#: The four single-structure idealizations from the paper, by component.
+IDEALIZATIONS: dict[Component, Idealization] = {
+    Component.ICACHE: PERFECT_ICACHE,
+    Component.DCACHE: PERFECT_DCACHE,
+    Component.BPRED: PERFECT_BPRED,
+    Component.ALU_LAT: SINGLE_CYCLE_ALU,
+}
+
+
+def idealize(config: CoreConfig, *idealizations: Idealization) -> CoreConfig:
+    """Apply one or more idealizations to ``config``."""
+    for ideal in idealizations:
+        config = ideal.apply(config)
+    return config

@@ -1,0 +1,280 @@
+"""Machine presets modelled after the paper's evaluation platforms.
+
+Numbers follow public microarchitecture references for the three cores; the
+uncore (L3 slice size, DRAM bandwidth share) is scaled by the socket core
+count exactly as the paper describes.  The parameters are not meant to be
+cycle-exact against real silicon — the paper's claims are about accounting
+*structure*, which only needs a faithful out-of-order pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.config.cores import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    MemoryConfig,
+    PrefetcherConfig,
+    TlbConfig,
+)
+from repro.isa.uops import UopClass
+
+
+def _bdw_memory() -> MemoryConfig:
+    """Broadwell-like hierarchy: 32K/32K L1, 256K L2, 2.5 MB L3 slice."""
+    return MemoryConfig(
+        l1i=CacheConfig(32 * 1024, 8, latency=3, mshrs=4),
+        l1d=CacheConfig(32 * 1024, 8, latency=4, mshrs=10),
+        l2=CacheConfig(256 * 1024, 8, latency=12, mshrs=16),
+        # 45 MB socket LLC / 18 cores = 2.5 MB per-core slice.
+        l3=CacheConfig(2560 * 1024, 20, latency=38, mshrs=32),
+        dram=DramConfig(latency=200, cycles_per_line=6.0),
+        prefetcher=PrefetcherConfig(
+            enabled=True, streams=8, degree=2, distance=16
+        ),
+        itlb=TlbConfig(entries=128, miss_penalty=20),
+        dtlb=TlbConfig(entries=64, miss_penalty=25),
+    )
+
+
+def broadwell() -> CoreConfig:
+    """Intel Broadwell-inspired core: 4-wide out-of-order (paper Sec. IV)."""
+    latencies = {
+        UopClass.NOP: 1,
+        UopClass.ALU: 1,
+        UopClass.MUL: 3,
+        UopClass.DIV: 24,
+        UopClass.BRANCH: 1,
+        UopClass.LOAD: 0,
+        UopClass.STORE: 1,
+        UopClass.FP_ADD: 3,
+        UopClass.FP_MUL: 3,
+        UopClass.FP_DIV: 14,
+        UopClass.FMA: 5,
+        UopClass.VEC_INT: 1,
+        UopClass.BROADCAST: 3,
+        UopClass.SYNC: 1,
+    }
+    return CoreConfig(
+        name="bdw",
+        fetch_width=4,
+        decode_width=4,
+        dispatch_width=4,
+        issue_width=8,
+        commit_width=4,
+        rob_size=192,
+        rs_size=60,
+        store_queue_size=42,
+        uop_queue_size=28,
+        alu_units=4,
+        mul_units=1,
+        vector_units=2,
+        load_ports=2,
+        store_ports=1,
+        branch_units=2,
+        vector_lanes=8,  # AVX2: 8 single-precision lanes
+        latencies=latencies,
+        redirect_penalty=8,
+        predictor="gshare",
+        predictor_bits=13,
+        btb_entries=4096,
+        memory=_bdw_memory(),
+        frequency_ghz=2.3,
+        socket_cores=18,
+    )
+
+
+def _knl_memory() -> MemoryConfig:
+    """KNL-like hierarchy: 32K/32K L1, 512K L2 half-tile, no L3, MCDRAM."""
+    return MemoryConfig(
+        l1i=CacheConfig(32 * 1024, 8, latency=3, mshrs=2),
+        l1d=CacheConfig(32 * 1024, 8, latency=4, mshrs=8),
+        # 1 MB L2 per 2-core tile -> 512 KB per core.
+        l2=CacheConfig(512 * 1024, 16, latency=17, mshrs=12),
+        l3=None,
+        dram=DramConfig(latency=170, cycles_per_line=3.0),
+        prefetcher=PrefetcherConfig(
+            enabled=True, streams=8, degree=2, distance=16
+        ),
+        itlb=TlbConfig(entries=64, miss_penalty=25),
+        dtlb=TlbConfig(entries=64, miss_penalty=30),
+    )
+
+
+def knights_landing() -> CoreConfig:
+    """Intel Knights Landing-inspired core: 2-wide out-of-order (Sec. IV).
+
+    KNL's Silvermont-derived core has higher ALU/vector latencies and a
+    microcode-sensitive 2-wide decoder, which is what surfaces the
+    `Microcode` component for povray (Fig. 3d) and makes the 1-cycle-ALU
+    idealization meaningful (Table I).
+    """
+    latencies = {
+        UopClass.NOP: 1,
+        UopClass.ALU: 1,
+        UopClass.MUL: 5,
+        UopClass.DIV: 30,
+        UopClass.BRANCH: 1,
+        UopClass.LOAD: 0,
+        UopClass.STORE: 1,
+        UopClass.FP_ADD: 6,
+        UopClass.FP_MUL: 6,
+        UopClass.FP_DIV: 30,
+        UopClass.FMA: 6,
+        UopClass.VEC_INT: 2,
+        UopClass.BROADCAST: 4,
+        UopClass.SYNC: 1,
+    }
+    return CoreConfig(
+        name="knl",
+        fetch_width=2,
+        decode_width=2,
+        dispatch_width=2,
+        issue_width=4,
+        commit_width=2,
+        rob_size=72,
+        rs_size=38,
+        store_queue_size=16,
+        uop_queue_size=16,
+        alu_units=2,
+        mul_units=1,
+        vector_units=2,
+        load_ports=1,
+        store_ports=1,
+        branch_units=1,
+        vector_lanes=16,  # AVX512: 16 single-precision lanes
+        latencies=latencies,
+        redirect_penalty=6,
+        predictor="gshare",
+        predictor_bits=11,
+        btb_entries=1024,
+        memory=_knl_memory(),
+        frequency_ghz=1.4,
+        socket_cores=68,
+    )
+
+
+def _skx_memory() -> MemoryConfig:
+    """Skylake-X-like hierarchy: 32K/32K L1, 1 MB L2, 1.375 MB L3 slice."""
+    return MemoryConfig(
+        l1i=CacheConfig(32 * 1024, 8, latency=3, mshrs=4),
+        l1d=CacheConfig(32 * 1024, 8, latency=4, mshrs=12),
+        l2=CacheConfig(1024 * 1024, 16, latency=14, mshrs=16),
+        l3=CacheConfig(1408 * 1024, 11, latency=44, mshrs=32),
+        dram=DramConfig(latency=190, cycles_per_line=5.0),
+        prefetcher=PrefetcherConfig(
+            enabled=True, streams=8, degree=2, distance=16
+        ),
+        itlb=TlbConfig(entries=128, miss_penalty=20),
+        dtlb=TlbConfig(entries=64, miss_penalty=25),
+    )
+
+
+def skylake_x() -> CoreConfig:
+    """Intel Skylake-X-inspired core: 4-wide, dual AVX512 VPUs (Sec. IV)."""
+    latencies = {
+        UopClass.NOP: 1,
+        UopClass.ALU: 1,
+        UopClass.MUL: 3,
+        UopClass.DIV: 21,
+        UopClass.BRANCH: 1,
+        UopClass.LOAD: 0,
+        UopClass.STORE: 1,
+        UopClass.FP_ADD: 4,
+        UopClass.FP_MUL: 4,
+        UopClass.FP_DIV: 14,
+        UopClass.FMA: 4,
+        UopClass.VEC_INT: 1,
+        UopClass.BROADCAST: 3,
+        UopClass.SYNC: 1,
+    }
+    return CoreConfig(
+        name="skx",
+        fetch_width=4,
+        decode_width=4,
+        dispatch_width=4,
+        issue_width=8,
+        commit_width=4,
+        rob_size=224,
+        rs_size=97,
+        store_queue_size=56,
+        uop_queue_size=32,
+        alu_units=4,
+        mul_units=1,
+        vector_units=2,
+        load_ports=2,
+        store_ports=1,
+        branch_units=2,
+        vector_lanes=16,  # AVX512
+        latencies=latencies,
+        redirect_penalty=8,
+        predictor="gshare",
+        predictor_bits=13,
+        btb_entries=4096,
+        memory=_skx_memory(),
+        frequency_ghz=2.1,
+        socket_cores=26,
+    )
+
+
+def tiny_core() -> CoreConfig:
+    """A deliberately small core used by unit tests.
+
+    Small windows and caches make stall behaviour observable in traces of a
+    few hundred instructions, keeping the test suite fast.
+    """
+    memory = MemoryConfig(
+        l1i=CacheConfig(2 * 1024, 2, latency=2, mshrs=2),
+        l1d=CacheConfig(2 * 1024, 2, latency=3, mshrs=4),
+        l2=CacheConfig(16 * 1024, 4, latency=8, mshrs=4),
+        l3=None,
+        dram=DramConfig(latency=60, cycles_per_line=4.0),
+        prefetcher=PrefetcherConfig(enabled=False),
+        itlb=TlbConfig(entries=16, miss_penalty=10),
+        dtlb=TlbConfig(entries=16, miss_penalty=10),
+    )
+    return CoreConfig(
+        name="tiny",
+        fetch_width=2,
+        decode_width=2,
+        dispatch_width=2,
+        issue_width=4,
+        commit_width=2,
+        rob_size=16,
+        rs_size=8,
+        store_queue_size=6,
+        uop_queue_size=8,
+        alu_units=2,
+        mul_units=1,
+        vector_units=1,
+        load_ports=1,
+        store_ports=1,
+        branch_units=1,
+        vector_lanes=4,
+        redirect_penalty=4,
+        predictor="gshare",
+        predictor_bits=8,
+        btb_entries=128,
+        memory=memory,
+        frequency_ghz=1.0,
+        socket_cores=1,
+    )
+
+
+#: Named preset registry used by the CLI and experiment harness.
+PRESETS = {
+    "bdw": broadwell,
+    "knl": knights_landing,
+    "skx": skylake_x,
+    "tiny": tiny_core,
+}
+
+
+def get_preset(name: str) -> CoreConfig:
+    """Look up a machine preset by name (bdw / knl / skx / tiny)."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: multi-stage CPI stacks and FLOPS stacks.
+
+This package implements, independently of the pipeline substrate:
+
+* the stack component taxonomy (:mod:`repro.core.components`),
+* CPI/IPC/FLOPS stack containers and aggregation (:mod:`repro.core.stack`),
+* the per-cycle accounting algorithms of Table II at the dispatch, issue and
+  commit stages (:mod:`repro.core.dispatch`, :mod:`repro.core.issue`,
+  :mod:`repro.core.commit`),
+* the FLOPS accounting algorithm of Table III (:mod:`repro.core.flops`),
+* width normalization with carry (:mod:`repro.core.width`),
+* wrong-path discernment strategies (:mod:`repro.core.wrongpath`), and
+* the multi-stage collector and bounds analysis (:mod:`repro.core.multistage`).
+"""
+
+from repro.core.commit import CommitAccountant
+from repro.core.components import (
+    CPI_COMPONENTS,
+    FLOPS_COMPONENTS,
+    Component,
+    FlopsComponent,
+)
+from repro.core.dispatch import DispatchAccountant
+from repro.core.flops import FlopsAccountant
+from repro.core.issue import IssueAccountant
+from repro.core.multistage import MultiStageCollector, MultiStageReport, Stage
+from repro.core.roofline import RooflinePoint, roofline_point
+from repro.core.stack import CpiStack, FlopsStack, average_stacks
+from repro.core.topdown import TopDownAccountant, TopDownReport, TopLevel
+from repro.core.width import WidthNormalizer
+from repro.core.wrongpath import (
+    SimpleWrongPathCorrector,
+    SpeculativeCounterFile,
+    WrongPathMode,
+)
+
+__all__ = [
+    "CPI_COMPONENTS",
+    "CommitAccountant",
+    "Component",
+    "CpiStack",
+    "DispatchAccountant",
+    "FLOPS_COMPONENTS",
+    "FlopsAccountant",
+    "FlopsComponent",
+    "FlopsStack",
+    "IssueAccountant",
+    "MultiStageCollector",
+    "MultiStageReport",
+    "RooflinePoint",
+    "SimpleWrongPathCorrector",
+    "SpeculativeCounterFile",
+    "Stage",
+    "TopDownAccountant",
+    "TopDownReport",
+    "TopLevel",
+    "WidthNormalizer",
+    "WrongPathMode",
+    "average_stacks",
+    "roofline_point",
+]

@@ -1,0 +1,75 @@
+"""Ground-cause classification of a blamed micro-op (Table II, lines 10-16).
+
+All three stage algorithms end in the same three-way test on a blamed
+micro-op ``i``::
+
+    if i has Dcache miss:      Dcache_comp += 1 - f
+    elif latency[i] > 1 cyc:   ALU_lat_comp += 1 - f
+    else:                      depend_comp += 1 - f
+
+The blamed micro-op is the ROB head (dispatch/commit) or the producer of the
+first non-ready instruction (issue).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.components import Component
+
+
+@runtime_checkable
+class BlamableUop(Protocol):
+    """What the accountants need to know about a pipeline micro-op."""
+
+    #: The micro-op is a load.
+    is_load: bool
+    #: The micro-op is an in-flight load that missed in the L1 D-cache.
+    dcache_miss: bool
+    #: The micro-op has started executing.
+    issued: bool
+    #: The micro-op has finished executing.
+    done: bool
+    #: The micro-op's execution latency exceeds one cycle.
+    multi_cycle: bool
+
+
+def classify_blamed_uop(uop: BlamableUop) -> Component:
+    """Map a blamed micro-op to a backend stall component.
+
+    * An issued load with an outstanding miss is a **Dcache** stall.
+    * An issued multi-cycle micro-op (including an L1-hitting load still in
+      flight) is an **ALU latency** stall.
+    * A micro-op that has not even issued is waiting on operands — a
+      **dependence** stall ("single-cycle instructions that can only start
+      executing when they are at the head of the ROB because of dependences
+      on older instructions").
+    """
+    if uop.is_load:
+        if uop.dcache_miss:
+            return Component.DCACHE
+        if uop.issued:
+            return Component.ALU_LAT
+        return Component.DEPEND
+    if uop.issued and uop.multi_cycle:
+        return Component.ALU_LAT
+    # Either a single-cycle micro-op caught in its only execution cycle, or
+    # a micro-op still waiting on its operands: a dependence stall.
+    return Component.DEPEND
+
+
+def frontend_component(reason: Component | None) -> Component:
+    """Normalize a frontend stall reason into a stack component.
+
+    The frontend reports ICACHE, BPRED, MICROCODE or UNSCHED (draining
+    toward a synchronization yield); anything else (e.g. the trace simply
+    ran out while the backend drains) is structural OTHER.
+    """
+    if reason in (
+        Component.ICACHE,
+        Component.BPRED,
+        Component.MICROCODE,
+        Component.UNSCHED,
+    ):
+        return reason
+    return Component.OTHER

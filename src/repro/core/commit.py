@@ -1,0 +1,57 @@
+"""Commit-stage CPI accounting (Table II, right column).
+
+The IBM POWER approach: a stall cycle is a cycle in which fewer than W
+micro-ops commit.  An empty ROB points at the frontend (the miss penalty is
+only charged once the window has drained); an unfinished ROB head points at
+the backend (charged as soon as the offending instruction reaches the head).
+
+Wrong-path micro-ops never commit, so this stage needs no wrong-path
+discernment (Sec. III-B: "there is no problem at the commit stage").
+"""
+
+from __future__ import annotations
+
+from repro.core.blame import classify_blamed_uop, frontend_component
+from repro.core.components import Component
+from repro.core.observation import CycleObservation
+from repro.core.stack import CpiStack
+from repro.core.width import WidthNormalizer
+
+
+class CommitAccountant:
+    """Per-cycle CPI accounting at the commit stage."""
+
+    stage = "commit"
+
+    __slots__ = ("stack", "norm")
+
+    def __init__(self, width: int) -> None:
+        self.stack = CpiStack(stage=self.stage)
+        self.norm = WidthNormalizer(width)
+
+    def observe(self, obs: CycleObservation) -> None:
+        """Run one cycle of the Table II commit algorithm."""
+        f = self.norm.fraction(obs.n_commit)
+        stack = self.stack
+        stack.add(Component.BASE, f)
+        if f >= 1.0:
+            return
+        stall = 1.0 - f
+        if obs.unscheduled:
+            stack.add(Component.UNSCHED, stall)
+        elif obs.rob_empty:
+            # ROB drained: a frontend event is starving the whole window.
+            if obs.wrong_path_active:
+                stack.add(Component.BPRED, stall)
+            else:
+                stack.add(frontend_component(obs.fe_reason), stall)
+        elif obs.rob_head is not None and not obs.rob_head.done:
+            # ROB head not done: blame its outstanding execution.
+            stack.add(classify_blamed_uop(obs.rob_head), stall)
+        else:
+            stack.add(Component.OTHER, stall)
+
+    def finalize(self, cycles: int, instructions: int) -> CpiStack:
+        self.stack.cycles = float(cycles)
+        self.stack.instructions = instructions
+        return self.stack

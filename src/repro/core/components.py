@@ -1,0 +1,125 @@
+"""Stack component taxonomy.
+
+The paper's simplified algorithms (Table II) measure six CPI components; the
+full implementation adds the `Microcode` component that appears for povray on
+KNL (Fig. 3d), the structural `Other` component only observable at the issue
+stage (Sec. V-A), and the `Unsched` component for descheduled threads
+(Fig. 5).  FLOPS stacks (Table III) use their own component set.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Component(enum.Enum):
+    """CPI-stack components (Table II plus paper-text extensions)."""
+
+    #: Useful work: fraction of the width used by correct-path micro-ops.
+    BASE = "base"
+    #: Frontend stalled resolving a branch misprediction.
+    BPRED = "bpred"
+    #: Frontend stalled on an instruction cache (or ITLB) miss.
+    ICACHE = "icache"
+    #: Backend stalled on a data cache (or DTLB) miss.
+    DCACHE = "dcache"
+    #: Backend stalled behind a multi-cycle arithmetic instruction.
+    ALU_LAT = "alu"
+    #: Backend stalled on inter-instruction dependences (1-cycle producers).
+    DEPEND = "depend"
+    #: Frontend stalled in the microcode sequencer (Fig. 3d).
+    MICROCODE = "microcode"
+    #: Structural stalls: issue ports, FU contention, store-load conflicts.
+    OTHER = "other"
+    #: Core descheduled (thread yielded on synchronization).
+    UNSCHED = "unsched"
+
+    # Components are dict keys on the per-cycle accounting fast path;
+    # identity hashing is much cheaper than Enum's name-based default and
+    # equally correct (enum members are singletons).
+    __hash__ = object.__hash__
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Canonical display order for CPI stacks (base at the bottom).
+CPI_COMPONENTS: tuple[Component, ...] = (
+    Component.BASE,
+    Component.BPRED,
+    Component.ICACHE,
+    Component.DCACHE,
+    Component.ALU_LAT,
+    Component.DEPEND,
+    Component.MICROCODE,
+    Component.OTHER,
+    Component.UNSCHED,
+)
+
+
+class FlopsComponent(enum.Enum):
+    """FLOPS-stack components (Table III plus `Unsched`/`Other`)."""
+
+    #: Cycles-equivalent of FLOPs actually performed.
+    BASE = "base"
+    #: Loss from issuing non-FMA vector FP work (adds/muls count 1 op).
+    NON_FMA = "non_fma"
+    #: Loss from masked-out vector lanes.
+    MASK = "mask"
+    #: No VFP instructions available (non-FP code, I$/bpred misses).
+    FRONTEND = "frontend"
+    #: Vector unit consumed by non-VFP work (integer SIMD, broadcasts).
+    NON_VFP = "non_vfp"
+    #: VFP instructions waiting on memory loads.
+    MEM = "mem"
+    #: VFP instructions waiting on non-memory producers.
+    DEPEND = "depend"
+    #: Ready VFP work blocked by structural limits.
+    OTHER = "other"
+    #: Core descheduled (thread yielded on synchronization).
+    UNSCHED = "unsched"
+
+    # See Component.__hash__: identity hashing for the accounting fast path.
+    __hash__ = object.__hash__
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Canonical display order for FLOPS stacks.
+FLOPS_COMPONENTS: tuple[FlopsComponent, ...] = (
+    FlopsComponent.BASE,
+    FlopsComponent.NON_FMA,
+    FlopsComponent.MASK,
+    FlopsComponent.FRONTEND,
+    FlopsComponent.NON_VFP,
+    FlopsComponent.MEM,
+    FlopsComponent.DEPEND,
+    FlopsComponent.OTHER,
+    FlopsComponent.UNSCHED,
+)
+
+#: CPI components considered "frontend" (dispatch comp >= issue >= commit).
+FRONTEND_COMPONENTS = frozenset(
+    {Component.ICACHE, Component.BPRED, Component.MICROCODE}
+)
+
+#: CPI components considered "backend" (commit comp >= issue >= dispatch).
+BACKEND_COMPONENTS = frozenset(
+    {Component.DCACHE, Component.ALU_LAT, Component.DEPEND}
+)
+
+#: Map between corresponding CPI and FLOPS components used in the Fig. 4
+#: comparison ("the normalized FLOPS base component minus the normalized CPI
+#: base component, and similar for the frontend, memory and dependence
+#: components").
+CPI_TO_FLOPS_COMPARISON: dict[FlopsComponent, tuple[Component, ...]] = {
+    FlopsComponent.BASE: (Component.BASE,),
+    FlopsComponent.FRONTEND: (
+        Component.ICACHE,
+        Component.BPRED,
+        Component.MICROCODE,
+    ),
+    FlopsComponent.MEM: (Component.DCACHE,),
+    FlopsComponent.DEPEND: (Component.DEPEND, Component.ALU_LAT),
+}

@@ -1,0 +1,117 @@
+"""Dispatch-stage CPI accounting (Table II, left column).
+
+The dispatch stage is where micro-ops leave the frontend and receive ROB and
+reservation-station entries (the accounting point of Eyerman et al.'s
+performance counter architecture).  A stall cycle is a cycle in which fewer
+than W correct-path micro-ops dispatch; the ground cause is either the
+frontend being unable to deliver (I-cache miss, branch misprediction,
+microcode sequencing) or the window being full, in which case the ROB head
+is blamed.
+"""
+
+from __future__ import annotations
+
+from repro.core.blame import classify_blamed_uop, frontend_component
+from repro.core.components import Component
+from repro.core.observation import CycleObservation
+from repro.core.stack import CpiStack
+from repro.core.width import WidthNormalizer
+from repro.core.wrongpath import SpeculativeCounterFile, WrongPathMode
+
+
+class DispatchAccountant:
+    """Per-cycle CPI accounting at the dispatch stage."""
+
+    stage = "dispatch"
+
+    __slots__ = ("stack", "norm", "mode", "spec", "_block_id")
+
+    def __init__(
+        self,
+        width: int,
+        mode: WrongPathMode = WrongPathMode.EXACT,
+    ) -> None:
+        self.stack = CpiStack(stage=self.stage)
+        self.norm = WidthNormalizer(width)
+        self.mode = mode
+        self.spec: SpeculativeCounterFile | None = (
+            SpeculativeCounterFile()
+            if mode is WrongPathMode.SPECULATIVE
+            else None
+        )
+        self._block_id = 0
+
+    # -- speculative-counter plumbing (driven by the pipeline) --------------
+
+    def set_block(self, block_id: int) -> None:
+        """Current basic-block id for speculative attribution."""
+        self._block_id = block_id
+
+    def on_block_commit(self, block_id: int) -> None:
+        if self.spec is not None:
+            self.spec.commit_up_to(block_id, self.stack)
+
+    def on_squash(self, block_id: int) -> None:
+        if self.spec is not None:
+            self.spec.squash_from(block_id, self.stack)
+
+    # -- per-cycle algorithm -------------------------------------------------
+
+    def _add(
+        self,
+        component: Component,
+        amount: float,
+        block_id: int | None = None,
+    ) -> None:
+        if self.spec is not None:
+            block = self._block_id if block_id is None else block_id
+            self.spec.add(block, component, amount)
+        else:
+            self.stack.add(component, amount)
+
+    def observe(self, obs: CycleObservation) -> None:
+        """Run one cycle of the Table II dispatch algorithm."""
+        if self.mode is WrongPathMode.EXACT:
+            n = obs.n_dispatch
+        else:
+            n = obs.n_dispatch + obs.n_dispatch_wrong
+        f = self.norm.fraction(n)
+        self._add(Component.BASE, f)
+        if f >= 1.0:
+            return
+        stall = 1.0 - f
+        if obs.unscheduled:
+            self._add(Component.UNSCHED, stall)
+        elif obs.uop_queue_empty:
+            # FE empty: the frontend could not deliver new micro-ops.
+            if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+                self._add(Component.BPRED, stall)
+            else:
+                self._add(frontend_component(obs.fe_reason), stall)
+        elif obs.window_full:
+            # ROB or RS full: blame the instruction at the head of the ROB.
+            # A done head means commit bandwidth, not a stall event: OTHER.
+            # Speculative counters charge the head's own basic block (it is
+            # the architecturally oldest work, so it will commit).
+            if obs.rob_head is not None and not obs.rob_head.done:
+                self._add(
+                    classify_blamed_uop(obs.rob_head),
+                    stall,
+                    block_id=obs.rob_head.block_id,
+                )
+            else:
+                self._add(Component.OTHER, stall)
+        elif obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+            # Frontend is delivering wrong-path micro-ops; dispatch slots are
+            # being consumed by work a perfect predictor would not create.
+            self._add(Component.BPRED, stall)
+        else:
+            self._add(Component.OTHER, stall)
+
+    def finalize(self, cycles: int, instructions: int) -> CpiStack:
+        """Close out the stack after the last simulated cycle."""
+        if self.spec is not None:
+            self.spec.flush_all(self.stack)
+        self.stack.cycles = float(cycles)
+        self.stack.instructions = instructions
+        return self.stack

@@ -1,0 +1,87 @@
+"""FLOPS-stack accounting (Table III).
+
+FLOPS stacks are issue-stage stacks restricted to vector floating-point
+work.  Peak performance is M = 2*k*v FLOPs per cycle (k vector units, v
+lanes, 2 ops per lane for FMA).  Each cycle decomposes into:
+
+* **base** — FLOPs actually performed, as a fraction of M;
+* **non_fma** — loss from VFP micro-ops that are not FMAs (a vector add
+  performs one op per lane where an FMA would perform two);
+* **mask** — loss from inactive lanes (masked-out elements; we also fold in
+  scalar/narrow VFP use, which is zero for the paper's fully-vectorized HPC
+  kernels but lets SPEC-like traces produce valid stacks);
+* per empty VFP issue slot ((k - n)/k): **frontend** (no VFP work available),
+  **non_vfp** (vector unit consumed by integer SIMD or broadcasts), **mem** /
+  **depend** (oldest waiting VFP micro-op blocked by a load / another
+  producer), **other** (structural), or **unsched** (core descheduled).
+
+The identity base + non_fma + mask + slot-losses = 1 holds every cycle, so
+the stack sums exactly to the cycle count.
+"""
+
+from __future__ import annotations
+
+from repro.core.components import FlopsComponent
+from repro.core.observation import CycleObservation
+from repro.core.stack import FlopsStack
+
+
+class FlopsAccountant:
+    """Per-cycle FLOPS accounting at the issue stage (Table III)."""
+
+    __slots__ = ("stack", "vector_units", "vector_lanes", "peak")
+
+    def __init__(self, vector_units: int, vector_lanes: int) -> None:
+        if vector_units < 1 or vector_lanes < 1:
+            raise ValueError("need at least one vector unit and lane")
+        self.vector_units = vector_units
+        self.vector_lanes = vector_lanes
+        #: M = 2 * k * v: peak FLOPs per cycle.
+        self.peak = 2 * vector_units * vector_lanes
+        self.stack = FlopsStack(peak_per_cycle=float(self.peak))
+
+    def observe(self, obs: CycleObservation) -> None:
+        """Run one cycle of the Table III algorithm."""
+        stack = self.stack
+        peak = self.peak
+        k = self.vector_units
+
+        # f = a*n*m / (2*k*v), computed exactly from per-uop sums.
+        f = obs.flops_issued / peak
+        stack.add(FlopsComponent.BASE, f)
+        stack.flops += obs.flops_issued
+        if f >= 1.0:
+            return
+
+        # Losses attributable to the VFP micro-ops that *did* issue.
+        if obs.non_fma_loss_lanes:
+            stack.add(FlopsComponent.NON_FMA, obs.non_fma_loss_lanes / peak)
+        if obs.masked_lanes:
+            stack.add(FlopsComponent.MASK, 2.0 * obs.masked_lanes / peak)
+
+        # Losses from empty VFP issue slots.
+        n = min(obs.n_vfp_issued, k)
+        slots = (k - n) / k
+        if slots <= 0.0:
+            return
+        if obs.unscheduled:
+            stack.add(FlopsComponent.UNSCHED, slots)
+        elif not obs.vfp_in_rs:
+            # No VFP instructions available: non-FP code, or the frontend is
+            # stalled on an I-cache or branch-predictor miss.
+            stack.add(FlopsComponent.FRONTEND, slots)
+        elif obs.vu_used_by_non_vfp:
+            stack.add(FlopsComponent.NON_VFP, slots)
+        elif obs.oldest_vfp_producer is not None:
+            if obs.oldest_vfp_producer.is_load:
+                stack.add(FlopsComponent.MEM, slots)
+            else:
+                stack.add(FlopsComponent.DEPEND, slots)
+        elif obs.vfp_structural:
+            stack.add(FlopsComponent.OTHER, slots)
+        else:
+            stack.add(FlopsComponent.OTHER, slots)
+
+    def finalize(self, cycles: int) -> FlopsStack:
+        self.stack.cycles = float(cycles)
+        return self.stack

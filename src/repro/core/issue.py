@@ -1,0 +1,127 @@
+"""Issue-stage CPI accounting (Table II, middle column).
+
+The issue stage uniquely has dependence information: instead of blaming the
+ROB head, the stall cause is the *producer* of the first (oldest) non-ready
+instruction in the reservation stations — "a more accurate instruction to
+blame than the head of the ROB, which could be an older instruction that is
+almost finished".  The issue stage is also the only stage where structural
+stalls (issue ports, FU contention, predicted store-load conflicts) are
+visible; those feed the `Other` component (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from repro.core.blame import classify_blamed_uop, frontend_component
+from repro.core.components import Component
+from repro.core.observation import CycleObservation
+from repro.core.stack import CpiStack
+from repro.core.width import WidthNormalizer
+from repro.core.wrongpath import SpeculativeCounterFile, WrongPathMode
+
+
+class IssueAccountant:
+    """Per-cycle CPI accounting at the issue stage."""
+
+    stage = "issue"
+
+    __slots__ = ("stack", "norm", "mode", "spec", "_block_id")
+
+    def __init__(
+        self,
+        width: int,
+        mode: WrongPathMode = WrongPathMode.EXACT,
+    ) -> None:
+        self.stack = CpiStack(stage=self.stage)
+        self.norm = WidthNormalizer(width)
+        self.mode = mode
+        self.spec: SpeculativeCounterFile | None = (
+            SpeculativeCounterFile()
+            if mode is WrongPathMode.SPECULATIVE
+            else None
+        )
+        self._block_id = 0
+
+    # -- speculative-counter plumbing (driven by the pipeline) --------------
+
+    def set_block(self, block_id: int) -> None:
+        self._block_id = block_id
+
+    def on_block_commit(self, block_id: int) -> None:
+        if self.spec is not None:
+            self.spec.commit_up_to(block_id, self.stack)
+
+    def on_squash(self, block_id: int) -> None:
+        if self.spec is not None:
+            self.spec.squash_from(block_id, self.stack)
+
+    # -- per-cycle algorithm -------------------------------------------------
+
+    def _add(
+        self,
+        component: Component,
+        amount: float,
+        block_id: int | None = None,
+    ) -> None:
+        if self.spec is not None:
+            block = self._block_id if block_id is None else block_id
+            self.spec.add(block, component, amount)
+        else:
+            self.stack.add(component, amount)
+
+    def observe(self, obs: CycleObservation) -> None:
+        """Run one cycle of the Table II issue algorithm."""
+        if self.mode is WrongPathMode.EXACT:
+            n = obs.n_issue
+        else:
+            n = obs.n_issue + obs.n_issue_wrong
+        f = self.norm.fraction(n)
+        self._add(Component.BASE, f)
+        if f >= 1.0:
+            return
+        stall = 1.0 - f
+        if obs.unscheduled:
+            self._add(Component.UNSCHED, stall)
+        elif obs.rs_empty:
+            # RS drained: either the frontend is the limiter, or dispatch is
+            # blocked on a full window while the RS runs dry (povray-style
+            # microcode stalls arrive here via fe_reason).
+            if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+                self._add(Component.BPRED, stall)
+            elif obs.fe_reason is not None:
+                self._add(frontend_component(obs.fe_reason), stall)
+            elif (
+                obs.window_full
+                and obs.rob_head is not None
+                and not obs.rob_head.done
+            ):
+                self._add(
+                    classify_blamed_uop(obs.rob_head),
+                    stall,
+                    block_id=obs.rob_head.block_id,
+                )
+            else:
+                self._add(Component.OTHER, stall)
+        elif obs.structural_stall:
+            # Ready micro-ops existed but ports/FUs/conflicts blocked them:
+            # only the issue stage can see these (Sec. V-A, 'Other').
+            self._add(Component.OTHER, stall)
+        elif obs.first_nonready_producer is not None:
+            # prod(first non-ready instr): the instruction whose pending
+            # result gates the oldest waiting consumer.
+            producer = obs.first_nonready_producer
+            self._add(
+                classify_blamed_uop(producer),
+                stall,
+                block_id=getattr(producer, "block_id", None),
+            )
+        elif obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+            self._add(Component.BPRED, stall)
+        else:
+            self._add(Component.OTHER, stall)
+
+    def finalize(self, cycles: int, instructions: int) -> CpiStack:
+        if self.spec is not None:
+            self.spec.flush_all(self.stack)
+        self.stack.cycles = float(cycles)
+        self.stack.instructions = instructions
+        return self.stack

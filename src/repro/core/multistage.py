@@ -1,0 +1,190 @@
+"""Multi-stage collection and bounds analysis — the paper's headline idea.
+
+A :class:`MultiStageCollector` runs the dispatch, issue and commit
+accountants (and optionally the FLOPS accountant) side by side over the same
+execution; the resulting :class:`MultiStageReport` exposes, per component,
+the *range* [min, max] across stages — the upper and lower bound on the CPI
+reduction expected from eliminating that stall source (Sec. I: "The
+different CPI stacks show the range of the possible CPI reduction if a
+certain stall event is eliminated").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.commit import CommitAccountant
+from repro.core.components import Component
+from repro.core.dispatch import DispatchAccountant
+from repro.core.flops import FlopsAccountant
+from repro.core.issue import IssueAccountant
+from repro.core.observation import CycleObservation
+from repro.core.stack import CpiStack, FlopsStack
+from repro.core.wrongpath import SimpleWrongPathCorrector, WrongPathMode
+
+
+class Stage(enum.Enum):
+    """The three accounting points of Table II."""
+
+    DISPATCH = "dispatch"
+    ISSUE = "issue"
+    COMMIT = "commit"
+
+
+ALL_STAGES = (Stage.DISPATCH, Stage.ISSUE, Stage.COMMIT)
+
+
+class MultiStageCollector:
+    """Runs all stage accountants simultaneously over one execution.
+
+    The paper shows this costs <1% simulation time; the collector therefore
+    does only O(1) work per cycle beyond the underlying accountants.
+    """
+
+    __slots__ = ("dispatch", "issue", "commit", "flops", "topdown", "mode")
+
+    def __init__(
+        self,
+        width: int,
+        *,
+        mode: WrongPathMode = WrongPathMode.EXACT,
+        vector_units: int = 0,
+        vector_lanes: int = 0,
+        topdown: bool = False,
+    ) -> None:
+        self.mode = mode
+        self.dispatch = DispatchAccountant(width, mode)
+        self.issue = IssueAccountant(width, mode)
+        self.commit = CommitAccountant(width)
+        self.flops: FlopsAccountant | None = None
+        if vector_units and vector_lanes:
+            self.flops = FlopsAccountant(vector_units, vector_lanes)
+        self.topdown = None
+        if topdown:
+            from repro.core.topdown import TopDownAccountant
+
+            self.topdown = TopDownAccountant(width)
+
+    def observe(self, obs: CycleObservation) -> None:
+        self.dispatch.observe(obs)
+        self.issue.observe(obs)
+        self.commit.observe(obs)
+        if self.flops is not None:
+            self.flops.observe(obs)
+        if self.topdown is not None:
+            self.topdown.observe(obs)
+
+    # -- speculative-counter event plumbing ----------------------------------
+
+    def set_block(self, block_id: int) -> None:
+        if self.mode is WrongPathMode.SPECULATIVE:
+            self.dispatch.set_block(block_id)
+            self.issue.set_block(block_id)
+
+    def on_block_commit(self, block_id: int) -> None:
+        if self.mode is WrongPathMode.SPECULATIVE:
+            self.dispatch.on_block_commit(block_id)
+            self.issue.on_block_commit(block_id)
+
+    def on_squash(self, block_id: int) -> None:
+        if self.mode is WrongPathMode.SPECULATIVE:
+            self.dispatch.on_squash(block_id)
+            self.issue.on_squash(block_id)
+
+    # -- finalization ---------------------------------------------------------
+
+    def finalize(
+        self, cycles: int, instructions: int, name: str = ""
+    ) -> "MultiStageReport":
+        dispatch = self.dispatch.finalize(cycles, instructions)
+        issue = self.issue.finalize(cycles, instructions)
+        commit = self.commit.finalize(cycles, instructions)
+        if self.mode is WrongPathMode.SIMPLE:
+            # Hardware-style correction: surplus base over the commit stack
+            # is dispatched/issued wrong-path work -> branch component.
+            dispatch = SimpleWrongPathCorrector.apply(dispatch, commit)
+            issue = SimpleWrongPathCorrector.apply(issue, commit)
+        for stack in (dispatch, issue, commit):
+            stack.name = name
+        flops_stack = None
+        if self.flops is not None:
+            flops_stack = self.flops.finalize(cycles)
+            flops_stack.name = name
+        topdown_report = None
+        if self.topdown is not None:
+            topdown_report = self.topdown.finalize(cycles)
+        return MultiStageReport(
+            name=name,
+            dispatch=dispatch,
+            issue=issue,
+            commit=commit,
+            flops=flops_stack,
+            topdown=topdown_report,
+        )
+
+
+@dataclass(slots=True)
+class MultiStageReport:
+    """The three per-stage CPI stacks (plus FLOPS stack) for one execution.
+
+    ``topdown`` carries the Yasin-style hierarchical baseline when the
+    collector was built with ``topdown=True`` (for head-to-head
+    comparisons; see :mod:`repro.core.topdown`).
+    """
+
+    name: str
+    dispatch: CpiStack
+    issue: CpiStack
+    commit: CpiStack
+    flops: FlopsStack | None = None
+    topdown: object | None = None
+
+    def stack(self, stage: Stage) -> CpiStack:
+        if stage is Stage.DISPATCH:
+            return self.dispatch
+        if stage is Stage.ISSUE:
+            return self.issue
+        return self.commit
+
+    @property
+    def stacks(self) -> dict[Stage, CpiStack]:
+        return {stage: self.stack(stage) for stage in ALL_STAGES}
+
+    def cpi(self) -> float:
+        return self.commit.cpi()
+
+    def component_bounds(
+        self, component: Component
+    ) -> tuple[float, float]:
+        """[min, max] of ``component`` (in CPI units) across the stages.
+
+        This is the paper's bound on the CPI reduction from removing the
+        stall source.
+        """
+        values = [
+            self.stack(stage).component_cpi(component)
+            for stage in ALL_STAGES
+        ]
+        return min(values), max(values)
+
+    def covers(self, component: Component, actual_delta: float) -> bool:
+        """True if the observed CPI reduction lies within the bounds."""
+        low, high = self.component_bounds(component)
+        return low <= actual_delta <= high
+
+    def bound_error(self, component: Component, actual_delta: float) -> float:
+        """Fig. 2's multi-stage error: 0 inside the bounds, else the signed
+        distance from the closest bound to the actual reduction."""
+        low, high = self.component_bounds(component)
+        if low <= actual_delta <= high:
+            return 0.0
+        if actual_delta < low:
+            return low - actual_delta
+        return high - actual_delta
+
+    def stage_error(
+        self, stage: Stage, component: Component, actual_delta: float
+    ) -> float:
+        """Fig. 2's single-stack error: predicted component minus actual."""
+        return self.stack(stage).component_cpi(component) - actual_delta

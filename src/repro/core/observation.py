@@ -1,0 +1,86 @@
+"""The per-cycle observation handed from the pipeline to the accountants.
+
+This is the contract between the substrate (:mod:`repro.pipeline`) and the
+accounting algorithms (:mod:`repro.core`): every simulated cycle the pipeline
+fills one :class:`CycleObservation` describing what each stage did and, when
+a stage under-used its width, the raw material needed to find the ground
+cause (frontend condition, ROB head, first non-ready reservation-station
+entry and its producer).
+
+Keeping cause *classification* in the accountants and cause *observation* in
+the pipeline mirrors how the paper separates the accounting algorithms
+(Table II/III) from the simulated core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.components import Component
+
+
+@dataclass(slots=True)
+class CycleObservation:
+    """Everything the Table II/III algorithms can see in one cycle.
+
+    Micro-op references (``rob_head``, producers) are pipeline-side objects
+    satisfying the :class:`repro.core.blame.BlamableUop` protocol.
+    """
+
+    # --- global ---
+    #: Core descheduled this cycle (thread yielded).
+    unscheduled: bool = False
+    #: Frontend is fetching down a mispredicted path or refilling after one.
+    wrong_path_active: bool = False
+    #: Why the frontend delivered nothing (ICACHE / BPRED / MICROCODE), or
+    #: None if it was not the limiter this cycle.
+    fe_reason: Component | None = None
+
+    # --- dispatch stage ---
+    #: Correct-path micro-ops dispatched this cycle.
+    n_dispatch: int = 0
+    #: Wrong-path micro-ops dispatched this cycle.
+    n_dispatch_wrong: int = 0
+    #: Uop queue had nothing for dispatch (frontend starved it).
+    uop_queue_empty: bool = False
+    #: Dispatch blocked because ROB, RS or store queue was full.
+    window_full: bool = False
+
+    # --- issue stage ---
+    #: Correct-path micro-ops issued this cycle.
+    n_issue: int = 0
+    #: Wrong-path micro-ops issued this cycle.
+    n_issue_wrong: int = 0
+    #: Reservation stations held no waiting micro-ops at issue time.
+    rs_empty: bool = False
+    #: Ready micro-ops were left unissued (ports/FUs/conflicts) this cycle.
+    structural_stall: bool = False
+    #: Producer of the first (oldest) non-ready RS entry, or None.
+    first_nonready_producer: Any = None
+
+    # --- commit stage ---
+    #: Correct-path micro-ops committed this cycle.
+    n_commit: int = 0
+    #: Reorder buffer was empty at commit time.
+    rob_empty: bool = False
+    #: ROB head micro-op if it blocked commit/dispatch, else None.
+    rob_head: Any = None
+
+    # --- FLOPS (issue stage, Table III) ---
+    #: FLOPs performed by VFP micro-ops issued this cycle (sum ops*lanes).
+    flops_issued: float = 0.0
+    #: Number of VFP micro-ops issued this cycle (n in Table III).
+    n_vfp_issued: int = 0
+    #: Sum over issued VFP micro-ops of (2 - ops_per_lane) * active lanes.
+    non_fma_loss_lanes: float = 0.0
+    #: Sum over issued VFP micro-ops of (machine lanes - active lanes).
+    masked_lanes: float = 0.0
+    #: At least one VFP micro-op is waiting in the reservation stations.
+    vfp_in_rs: bool = False
+    #: A vector unit executed a non-VFP micro-op this cycle.
+    vu_used_by_non_vfp: bool = False
+    #: Producer of the oldest waiting VFP micro-op, or None.
+    oldest_vfp_producer: Any = None
+    #: Ready VFP micro-ops were blocked by structural limits this cycle.
+    vfp_structural: bool = False

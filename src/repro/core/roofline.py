@@ -1,0 +1,106 @@
+"""Roofline positioning from FLOPS stacks (paper Sec. III-C).
+
+"This makes the FLOPS stack an intuitive representation for FLOPS based
+performance analysis, allowing it to augment the roofline model by
+identifying specific causes why an application does not reach its
+theoretical performance."
+
+The roofline model bounds attainable FLOPS by
+``min(peak_flops, bandwidth * arithmetic_intensity)``.  This module
+derives the roofline coordinates of a simulation and pairs them with the
+FLOPS-stack components, answering not only *where* a kernel sits under
+the roof but *why* it is not on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.cores import CoreConfig
+from repro.core.components import FlopsComponent
+from repro.pipeline.result import SimResult
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """One kernel's position under the roofline."""
+
+    #: FLOPs per byte of DRAM traffic.
+    arithmetic_intensity: float
+    #: Achieved GFLOPS (per core).
+    achieved_gflops: float
+    #: Compute roof: peak GFLOPS (per core).
+    peak_gflops: float
+    #: Memory roof at this intensity: bandwidth * intensity.
+    bandwidth_roof_gflops: float
+    #: The FLOPS-stack explanation of the gap (normalized components).
+    limiters: dict[FlopsComponent, float]
+
+    @property
+    def roof_gflops(self) -> float:
+        """The attainable bound at this arithmetic intensity."""
+        return min(self.peak_gflops, self.bandwidth_roof_gflops)
+
+    @property
+    def compute_bound(self) -> bool:
+        """True if the compute roof is the binding one."""
+        return self.peak_gflops <= self.bandwidth_roof_gflops
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved FLOPS as a fraction of the attainable roof."""
+        if self.roof_gflops == 0:
+            return 0.0
+        return self.achieved_gflops / self.roof_gflops
+
+    def dominant_limiter(self) -> FlopsComponent | None:
+        """Largest non-base FLOPS-stack component: the paper's 'why'."""
+        losses = {
+            c: v for c, v in self.limiters.items()
+            if c is not FlopsComponent.BASE
+        }
+        if not losses:
+            return None
+        return max(losses, key=losses.get)
+
+
+def roofline_point(
+    result: SimResult, config: CoreConfig, *, line_bytes: int = 64
+) -> RooflinePoint:
+    """Compute a kernel's roofline coordinates from its simulation.
+
+    DRAM traffic is measured, not estimated: every DRAM access in the
+    hierarchy moved one cache line.  Note that memory statistics cover the
+    whole run while the FLOPS stack covers the measured region, so for a
+    consistent intensity run the simulation without warmup (the cold
+    first-pass traffic is then part of the kernel's real traffic).
+    """
+    report = result.report
+    if report is None or report.flops is None:
+        raise ValueError("roofline analysis needs a FLOPS stack")
+    flops_stack = report.flops
+    dram_accesses = result.memory_stats.get("dram", {}).get("accesses", 0)
+    bytes_moved = dram_accesses * line_bytes
+    total_flops = flops_stack.flops
+    intensity = (
+        total_flops / bytes_moved if bytes_moved > 0 else float("inf")
+    )
+    achieved = flops_stack.gflops(config.frequency_ghz)
+    peak = config.peak_flops_per_cycle * config.frequency_ghz
+    # Per-core DRAM bandwidth in GB/s: line size over the per-line service
+    # interval, times the clock.
+    bandwidth_gbs = (
+        line_bytes
+        / config.memory.dram.cycles_per_line
+        * config.frequency_ghz
+    )
+    bandwidth_roof = (
+        bandwidth_gbs * intensity if intensity != float("inf") else peak
+    )
+    return RooflinePoint(
+        arithmetic_intensity=intensity,
+        achieved_gflops=achieved,
+        peak_gflops=peak,
+        bandwidth_roof_gflops=bandwidth_roof,
+        limiters=flops_stack.normalized(),
+    )

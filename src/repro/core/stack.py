@@ -1,0 +1,229 @@
+"""Stack containers: CPI stacks, IPC stacks and FLOPS stacks.
+
+A stack stores *cycle* counters per component; the invariant maintained by
+the accountants is that the counters sum to the simulated cycle count.  The
+same counters can then be presented three ways:
+
+* **CPI stack** — divide each counter by the (micro-)instruction count; the
+  components sum to total CPI (Fig. 1, Fig. 3).
+* **IPC stack** — divide by cycles and multiply by max IPC; the base
+  component is the achieved IPC and the stack height is the max IPC
+  (Fig. 5, left bars).
+* **FLOPS stack** — Equation 1: divide by cycles and multiply by peak FLOPS;
+  the base component is the achieved FLOPS (Fig. 5, right bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, TypeVar
+
+from repro.core.components import (
+    CPI_COMPONENTS,
+    FLOPS_COMPONENTS,
+    Component,
+    FlopsComponent,
+)
+
+KeyT = TypeVar("KeyT", Component, FlopsComponent)
+
+
+@dataclass(slots=True)
+class _BaseStack:
+    """Shared behaviour of CPI and FLOPS stacks (cycle counters)."""
+
+    name: str = ""
+    cycles: float = 0.0
+    counters: dict = field(default_factory=dict)
+
+    def add(self, component, amount: float) -> None:
+        """Accumulate ``amount`` stall/base cycles into ``component``."""
+        if amount:
+            self.counters[component] = self.counters.get(component, 0.0) + amount
+
+    def get(self, component) -> float:
+        """Raw cycle counter for ``component``."""
+        return self.counters.get(component, 0.0)
+
+    def total(self) -> float:
+        """Sum of all component counters (should equal ``cycles``)."""
+        return sum(self.counters.values())
+
+    def normalized(self) -> dict:
+        """Components as fractions of the stack total (sums to 1)."""
+        total = self.total()
+        if total == 0:
+            return {c: 0.0 for c in self.counters}
+        return {c: v / total for c, v in self.counters.items()}
+
+    def scaled(self, factor: float) -> dict:
+        """Components multiplied by ``factor`` (rate-stack conversions)."""
+        return {c: v * factor for c, v in self.counters.items()}
+
+
+@dataclass(slots=True)
+class CpiStack(_BaseStack):
+    """A CPI stack measured at one pipeline stage.
+
+    ``instructions`` is the correct-path micro-op count (the paper's
+    accounting operates on micro-ops: "an 'instruction' here actually means
+    a micro-operation", Sec. V-B).
+    """
+
+    stage: str = ""
+    instructions: int = 0
+
+    def cpi(self) -> float:
+        """Total cycles per (micro-)instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    def component_cpi(self, component: Component) -> float:
+        """CPI contribution of one component."""
+        if self.instructions == 0:
+            return 0.0
+        return self.get(component) / self.instructions
+
+    def cpi_components(self) -> dict[Component, float]:
+        """All components in CPI units, in canonical order."""
+        if self.instructions == 0:
+            return {}
+        return {
+            c: self.counters[c] / self.instructions
+            for c in CPI_COMPONENTS
+            if c in self.counters
+        }
+
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def ipc_components(self, max_ipc: float) -> dict[Component, float]:
+        """IPC-stack view: counters / cycles * max_ipc (sums to max IPC)."""
+        if self.cycles == 0:
+            return {}
+        factor = max_ipc / self.cycles
+        return {
+            c: self.counters[c] * factor
+            for c in CPI_COMPONENTS
+            if c in self.counters
+        }
+
+    def copy(self) -> "CpiStack":
+        out = CpiStack(
+            name=self.name,
+            cycles=self.cycles,
+            stage=self.stage,
+            instructions=self.instructions,
+        )
+        out.counters = dict(self.counters)
+        return out
+
+
+@dataclass(slots=True)
+class FlopsStack(_BaseStack):
+    """A FLOPS stack (Table III counters, cycle units).
+
+    ``flops`` records the floating-point operations actually performed, used
+    for cross-checking Equation 1; ``peak_per_cycle`` is M = 2*k*v.
+    """
+
+    flops: float = 0.0
+    peak_per_cycle: float = 0.0
+
+    def achieved_fraction(self) -> float:
+        """Fraction of peak FLOPS achieved (the normalized base component)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.get(FlopsComponent.BASE) / self.cycles
+
+    def gflops(self, frequency_ghz: float, cores: int = 1) -> float:
+        """Equation 1: base/cycles * freq * M (optionally socket-scaled)."""
+        return (
+            self.achieved_fraction()
+            * frequency_ghz
+            * self.peak_per_cycle
+            * cores
+        )
+
+    def rate_components(
+        self, frequency_ghz: float, cores: int = 1
+    ) -> dict[FlopsComponent, float]:
+        """FLOPS-rate stack: each component scaled to GFLOPS.
+
+        The stack height is the peak GFLOPS; the base component is the
+        achieved GFLOPS (Sec. III-C: "we obtain a stack with height
+        freq * M").
+        """
+        if self.cycles == 0:
+            return {}
+        factor = frequency_ghz * self.peak_per_cycle * cores / self.cycles
+        return {
+            c: self.counters[c] * factor
+            for c in FLOPS_COMPONENTS
+            if c in self.counters
+        }
+
+    def copy(self) -> "FlopsStack":
+        out = FlopsStack(
+            name=self.name,
+            cycles=self.cycles,
+            flops=self.flops,
+            peak_per_cycle=self.peak_per_cycle,
+        )
+        out.counters = dict(self.counters)
+        return out
+
+
+def average_stacks(stacks: Sequence[CpiStack]) -> CpiStack:
+    """Average CPI stacks component per component (paper Sec. IV).
+
+    Used to aggregate homogeneous per-thread stacks into one socket-level
+    stack: "We aggregate the CPI stacks by averaging them component per
+    component."
+    """
+    if not stacks:
+        raise ValueError("cannot average zero stacks")
+    out = CpiStack(
+        name=stacks[0].name,
+        stage=stacks[0].stage,
+        cycles=sum(s.cycles for s in stacks) / len(stacks),
+        instructions=round(
+            sum(s.instructions for s in stacks) / len(stacks)
+        ),
+    )
+    for stack in stacks:
+        for comp, value in stack.counters.items():
+            out.add(comp, value / len(stacks))
+    return out
+
+
+def sum_flops_stacks(stacks: Sequence[FlopsStack]) -> FlopsStack:
+    """Add FLOPS stacks by their components (paper Sec. IV).
+
+    "Similarly, we add the FLOPS stacks by their components."  Cycle counts
+    are averaged (homogeneous threads run for the same duration); component
+    counters and FLOPs are averaged as well so the per-cycle fractions are
+    preserved, then the socket view is obtained via ``cores=`` scaling.
+    """
+    if not stacks:
+        raise ValueError("cannot aggregate zero stacks")
+    out = FlopsStack(
+        name=stacks[0].name,
+        cycles=sum(s.cycles for s in stacks) / len(stacks),
+        flops=sum(s.flops for s in stacks) / len(stacks),
+        peak_per_cycle=stacks[0].peak_per_cycle,
+    )
+    for stack in stacks:
+        for comp, value in stack.counters.items():
+            out.add(comp, value / len(stacks))
+    return out
+
+
+def normalized_difference(
+    a: Mapping[KeyT, float], b: Mapping[KeyT, float], keys: Iterable[KeyT]
+) -> dict[KeyT, float]:
+    """Difference between two normalized stacks per component (Fig. 4)."""
+    return {k: a.get(k, 0.0) - b.get(k, 0.0) for k in keys}

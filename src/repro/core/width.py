@@ -1,0 +1,41 @@
+"""Width normalization for stages wider than the narrowest stage.
+
+Sec. III-A: "Instead of using the actual width of the stage, we propose to
+set W as the minimum of all stage widths.  As a result, f can be larger than
+1 in wider stages.  In that case, we assume f = 1 and 'transfer' the part
+larger than one to the next cycle."
+"""
+
+from __future__ import annotations
+
+
+class WidthNormalizer:
+    """Converts per-cycle micro-op counts into a useful fraction f in [0, 1].
+
+    ``width`` is W, the minimum of all stage widths.  When a wider stage
+    processes more than W micro-ops in a cycle, the excess is carried into
+    following cycles, modelling how a wide issue stage hides latency for the
+    narrower stages around it.
+    """
+
+    __slots__ = ("width", "carry")
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("accounting width must be >= 1")
+        self.width = width
+        self.carry = 0.0
+
+    def fraction(self, n: float) -> float:
+        """Fold ``n`` processed micro-ops into a fraction of W, with carry."""
+        if n < 0:
+            raise ValueError("micro-op count cannot be negative")
+        f = n / self.width + self.carry
+        if f > 1.0:
+            self.carry = f - 1.0
+            return 1.0
+        self.carry = 0.0
+        return f
+
+    def reset(self) -> None:
+        self.carry = 0.0

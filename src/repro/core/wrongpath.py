@@ -1,0 +1,111 @@
+"""Discerning wrong-path from correct-path work (paper Sec. III-B).
+
+Three strategies are implemented:
+
+* **EXACT** — functional-first simulation knows the correct path before
+  timing starts, so wrong-path micro-ops are simply excluded from ``n`` and
+  wrong-path delivery cycles are charged to the branch-misprediction
+  component directly.
+* **SIMPLE** — the hardware-friendly approach: treat every micro-op as
+  correct path while accounting, then correct afterwards by moving the
+  difference between this stage's base component and the commit stage's base
+  component into the branch component ("bad speculation slots are calculated
+  as the number of issue slots minus the number of retire slots", Yasin's
+  method as cited by the paper).
+* **SPECULATIVE** — per-basic-block speculative counters (the CPI counter
+  architecture of Eyerman et al. as adopted by the paper): cycle components
+  accumulate into a per-block buffer; blocks that commit merge into the
+  global counters, squashed blocks drain into the branch component.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.components import Component
+from repro.core.stack import CpiStack
+
+
+class WrongPathMode(enum.Enum):
+    """How an accountant discerns wrong-path work (Sec. III-B)."""
+
+    EXACT = "exact"
+    SIMPLE = "simple"
+    SPECULATIVE = "speculative"
+
+
+class SpeculativeCounterFile:
+    """Per-basic-block speculative cycle counters.
+
+    Blocks are identified by a monotonically increasing id assigned by the
+    frontend at each branch.  ``add`` buffers a contribution against a block;
+    ``commit_up_to`` merges every block at or below an id into the stack
+    (those blocks are architecturally committed); ``squash_from`` drains every
+    block above an id into the branch-misprediction component.
+    """
+
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        self.pending: dict[int, dict[Component, float]] = {}
+
+    def add(self, block_id: int, component: Component, amount: float) -> None:
+        if not amount:
+            return
+        block = self.pending.get(block_id)
+        if block is None:
+            block = {}
+            self.pending[block_id] = block
+        block[component] = block.get(component, 0.0) + amount
+
+    def commit_up_to(self, block_id: int, stack: CpiStack) -> None:
+        """Merge all blocks with id <= ``block_id`` into ``stack``."""
+        done = [bid for bid in self.pending if bid <= block_id]
+        for bid in done:
+            for component, amount in self.pending.pop(bid).items():
+                stack.add(component, amount)
+
+    def squash_from(self, block_id: int, stack: CpiStack) -> None:
+        """Drain all blocks with id > ``block_id`` into the bpred component."""
+        squashed = [bid for bid in self.pending if bid > block_id]
+        for bid in squashed:
+            total = sum(self.pending.pop(bid).values())
+            stack.add(Component.BPRED, total)
+
+    def flush_all(self, stack: CpiStack) -> None:
+        """End of simulation: merge everything still pending as committed."""
+        for block in self.pending.values():
+            for component, amount in block.items():
+                stack.add(component, amount)
+        self.pending.clear()
+
+    @property
+    def outstanding_blocks(self) -> int:
+        return len(self.pending)
+
+
+class SimpleWrongPathCorrector:
+    """Post-hoc base-difference correction for the SIMPLE mode.
+
+    Because the commit stage never sees wrong-path micro-ops, its base
+    component is the correct one; the surplus base measured at an earlier
+    stage is (mostly) wrong-path work and is moved to the branch component.
+    """
+
+    @staticmethod
+    def apply(stack: CpiStack, commit_stack: CpiStack) -> CpiStack:
+        """Return a corrected copy of ``stack``.
+
+        Both stacks must cover the same execution (same cycles and committed
+        micro-op count).
+        """
+        corrected = stack.copy()
+        surplus = corrected.get(Component.BASE) - commit_stack.get(
+            Component.BASE
+        )
+        if surplus > 0:
+            corrected.counters[Component.BASE] = commit_stack.get(
+                Component.BASE
+            )
+            corrected.add(Component.BPRED, surplus)
+        return corrected

@@ -1,0 +1,45 @@
+"""Evaluation harness: one module per paper experiment family.
+
+* :mod:`repro.experiments.runner` — cached simulation driver.
+* :mod:`repro.experiments.idealization` — CPI deltas from perfected
+  structures (Table I, Fig. 3 case studies).
+* :mod:`repro.experiments.error` — per-component error distributions for
+  single stacks vs. the multi-stage bounds (Fig. 2).
+* :mod:`repro.experiments.flops_study` — CPI-vs-FLOPS stack comparisons on
+  the DeepBench-like kernels (Fig. 4, Fig. 5).
+* :mod:`repro.experiments.overhead` — accounting overhead measurement
+  (Sec. IV, "<1% simulation time" claim).
+"""
+
+from repro.experiments.error import (
+    ComponentError,
+    figure2_errors,
+    summarize_errors,
+)
+from repro.experiments.flops_study import (
+    figure4_differences,
+    figure5_case,
+)
+from repro.experiments.idealization import (
+    IdealizationStudy,
+    fig3_case,
+    run_study,
+    table1_rows,
+)
+from repro.experiments.overhead import measure_overhead
+from repro.experiments.runner import clear_cache, run_case
+
+__all__ = [
+    "ComponentError",
+    "IdealizationStudy",
+    "clear_cache",
+    "fig3_case",
+    "figure2_errors",
+    "figure4_differences",
+    "figure5_case",
+    "measure_overhead",
+    "run_case",
+    "run_study",
+    "summarize_errors",
+    "table1_rows",
+]

@@ -1,0 +1,127 @@
+"""Fig. 2: error of single-stack components vs. multi-stage bounds.
+
+For each of the Icache, Dcache, bpred and ALU components, the paper selects
+the benchmarks where the component is at least 10% of total CPI in any
+stack (filtering out 'zeros'), re-simulates with that structure perfected,
+and compares the predicted component against the actual CPI reduction.  The
+multi-stage representation scores zero error when the actual reduction lies
+within the [min, max] of the three stacks, else the distance to the closest
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.idealize import IDEALIZATIONS
+from repro.core.components import Component
+from repro.core.multistage import ALL_STAGES, Stage
+from repro.experiments.runner import run_case
+from repro.stats.descriptive import BoxStats, boxplot_stats
+from repro.workloads.registry import SPEC_LIKE_NAMES
+
+#: Paper's inclusion filter: component >= 10% of CPI in any stack.
+SIGNIFICANCE_THRESHOLD = 0.10
+
+#: Components studied in Fig. 2.
+FIG2_COMPONENTS: tuple[Component, ...] = (
+    Component.ICACHE,
+    Component.BPRED,
+    Component.DCACHE,
+    Component.ALU_LAT,
+)
+
+
+@dataclass(slots=True)
+class ComponentError:
+    """One (workload, component) data point of Fig. 2."""
+
+    workload: str
+    preset: str
+    component: Component
+    #: Actual CPI reduction when the structure is made perfect.
+    actual_delta: float
+    #: Predicted component (CPI units) per stage.
+    predicted: dict[Stage, float]
+    #: Signed error (predicted - actual) per stage.
+    errors: dict[Stage, float]
+    #: Multi-stage error: 0 inside the bounds, else distance to closest.
+    multistage_error: float
+
+    @property
+    def within_bounds(self) -> bool:
+        return self.multistage_error == 0.0
+
+
+def figure2_errors(
+    preset: str,
+    *,
+    workloads: tuple[str, ...] = SPEC_LIKE_NAMES,
+    components: tuple[Component, ...] = FIG2_COMPONENTS,
+    instructions: int | None = None,
+    seed: int = 1,
+    threshold: float = SIGNIFICANCE_THRESHOLD,
+) -> dict[Component, list[ComponentError]]:
+    """Collect Fig. 2 error data points for one machine preset."""
+    out: dict[Component, list[ComponentError]] = {c: [] for c in components}
+    for workload in workloads:
+        baseline = run_case(
+            workload, preset, instructions=instructions, seed=seed
+        )
+        report = baseline.report
+        assert report is not None
+        cpi = baseline.cpi
+        if cpi <= 0:
+            continue
+        for component in components:
+            # Filter: keep only benchmarks where the component reaches the
+            # threshold in at least one stack ("this filters out zeros").
+            significant = any(
+                report.stack(stage).component_cpi(component) >= threshold * cpi
+                for stage in ALL_STAGES
+            )
+            if not significant:
+                continue
+            ideal = IDEALIZATIONS[component]
+            idealized = run_case(
+                workload,
+                preset,
+                idealization=ideal,
+                instructions=instructions,
+                seed=seed,
+            )
+            actual = cpi - idealized.cpi
+            predicted = {
+                stage: report.stack(stage).component_cpi(component)
+                for stage in ALL_STAGES
+            }
+            errors = {
+                stage: predicted[stage] - actual for stage in ALL_STAGES
+            }
+            out[component].append(
+                ComponentError(
+                    workload=workload,
+                    preset=preset,
+                    component=component,
+                    actual_delta=actual,
+                    predicted=predicted,
+                    errors=errors,
+                    multistage_error=report.bound_error(component, actual),
+                )
+            )
+    return out
+
+
+def summarize_errors(
+    points: list[ComponentError],
+) -> dict[str, BoxStats]:
+    """Boxplot summaries (per stage plus multi-stage) for one component."""
+    if not points:
+        return {}
+    out: dict[str, BoxStats] = {}
+    for stage in ALL_STAGES:
+        out[stage.value] = boxplot_stats(
+            [p.errors[stage] for p in points]
+        )
+    out["multi"] = boxplot_stats([p.multistage_error for p in points])
+    return out

@@ -1,0 +1,177 @@
+"""FLOPS-stack studies: Fig. 4 and Fig. 5.
+
+Fig. 4 compares, per DeepBench group and machine, the *normalized* FLOPS
+stack against the normalized issue-stage CPI stack: "we normalize each
+stack, and take the difference between corresponding components ... As all
+normalized components finally add to 1, the sum of the differences is
+zero."
+
+Fig. 5 shows one convolution-train-forward configuration on SKX as an IPC
+stack next to a FLOPS stack, with and without a perfect D-cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.idealize import PERFECT_DCACHE
+from repro.config.presets import get_preset
+from repro.core.components import (
+    CPI_COMPONENTS,
+    Component,
+    FlopsComponent,
+)
+from repro.experiments.runner import run_case
+from repro.pipeline.result import SimResult
+from repro.workloads.deepbench import conv_configs, sgemm_configs
+
+#: Fig. 4 component correspondence: each FLOPS component maps to the CPI
+#: components it absorbs.  FLOPS-only loss classes map to nothing, so both
+#: sides remain full partitions and the differences sum to zero.
+_FIG4_MAP: dict[FlopsComponent, tuple[Component, ...]] = {
+    FlopsComponent.BASE: (Component.BASE,),
+    FlopsComponent.NON_FMA: (),
+    FlopsComponent.MASK: (),
+    FlopsComponent.FRONTEND: (
+        Component.ICACHE,
+        Component.BPRED,
+        Component.MICROCODE,
+    ),
+    FlopsComponent.NON_VFP: (),
+    FlopsComponent.MEM: (Component.DCACHE,),
+    FlopsComponent.DEPEND: (Component.DEPEND, Component.ALU_LAT),
+    FlopsComponent.OTHER: (Component.OTHER,),
+    FlopsComponent.UNSCHED: (Component.UNSCHED,),
+}
+
+#: The five benchmark groups of Fig. 4.
+FIG4_GROUPS = (
+    "sgemm-train",
+    "sgemm-inference",
+    "conv-fwd",
+    "conv-bwd_f",
+    "conv-bwd_d",
+)
+
+
+def _group_workloads(group: str, preset: str) -> list[str]:
+    """Registry names of the kernels belonging to a Fig. 4 group.
+
+    sgemm kernels use the machine-matched code style (MKL JIT on KNL,
+    broadcast style on SKX), as the paper describes.
+    """
+    style = "knl" if preset == "knl" else "skx"
+    if group == "sgemm-train":
+        return [
+            f"{c.name}-{style}"
+            for c in sgemm_configs()
+            if c.group == "train"
+        ]
+    if group == "sgemm-inference":
+        return [
+            f"{c.name}-{style}"
+            for c in sgemm_configs()
+            if c.group == "inference"
+        ]
+    if group.startswith("conv-"):
+        phase = group.split("-", 1)[1]
+        return [f"{c.name}-{phase}" for c in conv_configs()]
+    raise KeyError(f"unknown Fig. 4 group {group!r}")
+
+
+def stack_difference(result: SimResult) -> dict[FlopsComponent, float]:
+    """Normalized FLOPS stack minus normalized issue CPI stack."""
+    report = result.report
+    assert report is not None and report.flops is not None
+    cpi_norm_raw = report.issue.normalized()
+    flops_norm_raw = report.flops.normalized()
+    diff: dict[FlopsComponent, float] = {}
+    for flops_comp, cpi_comps in _FIG4_MAP.items():
+        flops_value = flops_norm_raw.get(flops_comp, 0.0)
+        cpi_value = sum(cpi_norm_raw.get(c, 0.0) for c in cpi_comps)
+        diff[flops_comp] = flops_value - cpi_value
+    return diff
+
+
+def figure4_differences(
+    presets: tuple[str, ...] = ("knl", "skx"),
+    groups: tuple[str, ...] = FIG4_GROUPS,
+    *,
+    instructions: int | None = None,
+    seed: int = 1,
+) -> dict[tuple[str, str], dict[FlopsComponent, float]]:
+    """Average per-component stack differences per (group, preset).
+
+    "We average all differences per set of benchmarks."
+    """
+    out: dict[tuple[str, str], dict[FlopsComponent, float]] = {}
+    for preset in presets:
+        for group in groups:
+            names = _group_workloads(group, preset)
+            acc = {comp: 0.0 for comp in _FIG4_MAP}
+            for name in names:
+                result = run_case(
+                    name, preset, instructions=instructions, seed=seed
+                )
+                for comp, value in stack_difference(result).items():
+                    acc[comp] += value
+            out[(group, preset)] = {
+                comp: value / len(names) for comp, value in acc.items()
+            }
+    return out
+
+
+@dataclass(slots=True)
+class Figure5Case:
+    """IPC and FLOPS stacks for one conv config, +/- perfect Dcache."""
+
+    workload: str
+    preset: str
+    baseline: SimResult
+    perfect_dcache: SimResult
+
+    def ipc_stack(self, idealized: bool = False) -> dict[Component, float]:
+        """Issue-stage IPC stack (height = max IPC)."""
+        result = self.perfect_dcache if idealized else self.baseline
+        assert result.report is not None
+        max_ipc = float(get_preset(self.preset).accounting_width)
+        return result.report.issue.ipc_components(max_ipc)
+
+    def flops_stack(
+        self, idealized: bool = False
+    ) -> dict[FlopsComponent, float]:
+        """FLOPS-rate stack in socket GFLOPS (height = peak GFLOPS)."""
+        result = self.perfect_dcache if idealized else self.baseline
+        assert result.report is not None and result.report.flops is not None
+        config = get_preset(self.preset)
+        return result.report.flops.rate_components(
+            config.frequency_ghz, cores=config.socket_cores
+        )
+
+
+def figure5_case(
+    workload: str = "conv-vgg-2-fwd",
+    preset: str = "skx",
+    *,
+    instructions: int | None = None,
+    seed: int = 1,
+) -> Figure5Case:
+    """Run the Fig. 5 experiment: one conv fwd config on SKX."""
+    baseline = run_case(
+        workload, preset, instructions=instructions, seed=seed
+    )
+    ideal = run_case(
+        workload,
+        preset,
+        idealization=PERFECT_DCACHE,
+        instructions=instructions,
+        seed=seed,
+    )
+    return Figure5Case(workload, preset, baseline, ideal)
+
+
+def cpi_normalized(result: SimResult) -> dict[Component, float]:
+    """Normalized issue-stage CPI components (helper for reports)."""
+    assert result.report is not None
+    raw = result.report.issue.normalized()
+    return {c: raw.get(c, 0.0) for c in CPI_COMPONENTS}

@@ -1,0 +1,145 @@
+"""Idealization studies: actual CPI deltas vs. stack components.
+
+Reproduces Table I ("CPI components by idealizing structures") and the
+Fig. 3 case studies (multi-stage CPI stacks before and after making
+components perfect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.idealize import (
+    IDEALIZATIONS,
+    PERFECT_BPRED,
+    PERFECT_DCACHE,
+    PERFECT_ICACHE,
+    SINGLE_CYCLE_ALU,
+    Idealization,
+)
+from repro.core.components import Component
+from repro.experiments.runner import run_case
+from repro.pipeline.result import SimResult
+
+
+@dataclass(slots=True)
+class IdealizationStudy:
+    """Baseline plus idealized runs of one workload on one preset."""
+
+    workload: str
+    preset: str
+    baseline: SimResult
+    idealized: dict[str, SimResult] = field(default_factory=dict)
+
+    def delta(self, idealization_name: str) -> float:
+        """Actual CPI reduction from the named idealization."""
+        return self.baseline.cpi - self.idealized[idealization_name].cpi
+
+    def component_bounds(self, component: Component) -> tuple[float, float]:
+        assert self.baseline.report is not None
+        return self.baseline.report.component_bounds(component)
+
+    def covered(self, idealization: Idealization) -> dict[Component, bool]:
+        """Whether each targeted component's bounds contain the delta."""
+        assert self.baseline.report is not None
+        delta = self.delta(idealization.name)
+        return {
+            component: self.baseline.report.covers(component, delta)
+            for component in idealization.targets
+        }
+
+
+def run_study(
+    workload: str,
+    preset: str,
+    idealizations: tuple[Idealization, ...],
+    *,
+    instructions: int | None = None,
+    seed: int = 1,
+) -> IdealizationStudy:
+    """Simulate baseline plus each idealization of one workload."""
+    baseline = run_case(
+        workload, preset, instructions=instructions, seed=seed
+    )
+    study = IdealizationStudy(workload, preset, baseline)
+    for ideal in idealizations:
+        study.idealized[ideal.name] = run_case(
+            workload,
+            preset,
+            idealization=ideal,
+            instructions=instructions,
+            seed=seed,
+        )
+    return study
+
+
+def table1_rows(
+    *, instructions: int | None = None, seed: int = 1
+) -> list[dict[str, object]]:
+    """Reproduce Table I: hidden and overlapping stalls for mcf.
+
+    KNL rows: 1-cycle ALU, perfect Dcache, and both (the combined delta
+    exceeds the sum of the parts: hidden ALU stalls).  BDW rows: perfect
+    bpred, perfect Dcache, and both (the combined delta is below the sum:
+    overlapping penalties).
+    """
+    rows: list[dict[str, object]] = []
+    cases = (
+        ("knl", (SINGLE_CYCLE_ALU, PERFECT_DCACHE,
+                 SINGLE_CYCLE_ALU | PERFECT_DCACHE)),
+        ("bdw", (PERFECT_BPRED, PERFECT_DCACHE,
+                 PERFECT_BPRED | PERFECT_DCACHE)),
+    )
+    for preset, ideals in cases:
+        study = run_study(
+            "mcf", preset, ideals, instructions=instructions, seed=seed
+        )
+        rows.append(
+            {
+                "app": f"mcf on {preset.upper()}",
+                "config": "All real",
+                "cpi": study.baseline.cpi,
+                "diff": None,
+            }
+        )
+        for ideal in ideals:
+            result = study.idealized[ideal.name]
+            rows.append(
+                {
+                    "app": f"mcf on {preset.upper()}",
+                    "config": ideal.name,
+                    "cpi": result.cpi,
+                    "diff": study.baseline.cpi - result.cpi,
+                }
+            )
+    return rows
+
+
+#: Fig. 3 case studies: (workload, preset, idealizations shown).
+FIG3_CASES: dict[str, tuple[str, str, tuple[Idealization, ...]]] = {
+    "fig3a": ("mcf", "bdw", (PERFECT_BPRED, PERFECT_DCACHE)),
+    "fig3b": ("cactus", "bdw", (PERFECT_ICACHE, PERFECT_DCACHE)),
+    "fig3c": ("bwaves", "bdw", (PERFECT_ICACHE, PERFECT_DCACHE)),
+    "fig3d": ("povray", "knl", (SINGLE_CYCLE_ALU, PERFECT_BPRED)),
+    "fig3e": ("imagick", "knl", (SINGLE_CYCLE_ALU,)),
+}
+
+
+def fig3_case(
+    case: str, *, instructions: int | None = None, seed: int = 1
+) -> IdealizationStudy:
+    """Run one Fig. 3 case study by id (fig3a .. fig3e)."""
+    try:
+        workload, preset, ideals = FIG3_CASES[case]
+    except KeyError:
+        raise KeyError(
+            f"unknown Fig. 3 case {case!r}; available: {sorted(FIG3_CASES)}"
+        ) from None
+    return run_study(
+        workload, preset, ideals, instructions=instructions, seed=seed
+    )
+
+
+def all_single_idealizations() -> tuple[Idealization, ...]:
+    """The four single-structure idealizations of the paper's setup."""
+    return tuple(IDEALIZATIONS.values())

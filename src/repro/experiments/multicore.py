@@ -1,0 +1,115 @@
+"""Multicore aggregation (paper Sec. IV).
+
+The paper simulates the DeepBench kernels on 68-core KNL / 26-core SKX
+sockets and aggregates: "We aggregate the CPI stacks by averaging them
+component per component.  This is possible because all threads show
+homogeneous behavior.  Similarly, we add the FLOPS stacks by their
+components."
+
+This module reproduces that methodology: it simulates N homogeneous
+threads of the same kernel (distinct seeds and data offsets emulate the
+per-thread work partition) and aggregates the per-thread stacks into one
+socket-level report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.cores import CoreConfig
+from repro.core.stack import (
+    CpiStack,
+    FlopsStack,
+    average_stacks,
+    sum_flops_stacks,
+)
+from repro.pipeline.core import simulate
+from repro.pipeline.result import SimResult
+from repro.workloads.registry import get_workload
+
+
+@dataclass(slots=True)
+class SocketResult:
+    """Aggregated socket-level stacks from homogeneous threads."""
+
+    workload: str
+    config: CoreConfig
+    threads: int
+    per_thread: list[SimResult]
+    dispatch: CpiStack
+    issue: CpiStack
+    commit: CpiStack
+    flops: FlopsStack | None
+
+    @property
+    def cpi(self) -> float:
+        return self.commit.cpi()
+
+    def socket_gflops(self) -> float:
+        """Socket FLOPS: per-thread rate times thread count (Eq. 1)."""
+        if self.flops is None:
+            return 0.0
+        return self.flops.gflops(
+            self.config.frequency_ghz, cores=self.threads
+        )
+
+    def homogeneity(self) -> float:
+        """Max relative CPI deviation across threads (paper's premise:
+        "all threads show homogeneous behavior")."""
+        cpis = [r.cpi for r in self.per_thread]
+        mean = sum(cpis) / len(cpis)
+        if mean == 0:
+            return 0.0
+        return max(abs(c - mean) for c in cpis) / mean
+
+
+def simulate_socket(
+    workload: str,
+    config: CoreConfig,
+    *,
+    threads: int = 4,
+    instructions: int | None = None,
+    warmup_fraction: float = 0.3,
+    base_seed: int = 1,
+) -> SocketResult:
+    """Simulate ``threads`` homogeneous instances and aggregate.
+
+    Each thread gets its own trace seed (different data-dependent control
+    flow and addresses within the same kernel structure), modelling the
+    per-thread tiles of a parallel HPC kernel.
+    """
+    if threads < 1:
+        raise ValueError("a socket needs at least one thread")
+    spec = get_workload(workload)
+    results: list[SimResult] = []
+    for thread in range(threads):
+        trace = spec.make(instructions, seed=base_seed + thread)
+        warmup = int(len(trace) * warmup_fraction)
+        results.append(
+            simulate(
+                trace,
+                config,
+                warmup_instructions=warmup,
+                seed=base_seed + 1000 + thread,
+            )
+        )
+    reports = [r.report for r in results]
+    assert all(rep is not None for rep in reports)
+    dispatch = average_stacks([rep.dispatch for rep in reports])
+    issue = average_stacks([rep.issue for rep in reports])
+    commit = average_stacks([rep.commit for rep in reports])
+    flops = None
+    if reports[0].flops is not None:
+        flops = sum_flops_stacks(
+            [rep.flops for rep in reports if rep.flops is not None]
+        )
+    return SocketResult(
+        workload=workload,
+        config=config,
+        threads=threads,
+        per_thread=results,
+        dispatch=dispatch,
+        issue=issue,
+        commit=commit,
+        flops=flops,
+    )

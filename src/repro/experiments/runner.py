@@ -1,0 +1,75 @@
+"""Cached simulation driver for the experiment harness.
+
+Experiments share baselines aggressively (Fig. 2 alone needs the baseline
+stacks of every workload plus up to four idealized reruns each), so results
+are memoized on (workload, size, seed, preset, idealization, mode).  Traces
+are memoized too: baseline and idealized runs must replay the identical
+program, as in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from repro.config.idealize import Idealization
+from repro.config.presets import get_preset
+from repro.core.wrongpath import WrongPathMode
+from repro.isa.instructions import Program
+from repro.pipeline.core import simulate
+from repro.pipeline.result import SimResult
+from repro.workloads.registry import get_workload
+
+#: Fraction of the trace used to warm caches/TLBs/predictor before the
+#: measured region begins (the paper fast-forwards 10B instructions).
+DEFAULT_WARMUP_FRACTION = 0.3
+
+_trace_cache: dict[tuple, Program] = {}
+_result_cache: dict[tuple, SimResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized traces and results (mainly for tests)."""
+    _trace_cache.clear()
+    _result_cache.clear()
+
+
+def get_trace(name: str, instructions: int | None, seed: int) -> Program:
+    key = (name, instructions, seed)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        trace = get_workload(name).make(instructions, seed)
+        _trace_cache[key] = trace
+    return trace
+
+
+def run_case(
+    workload: str,
+    preset: str,
+    *,
+    idealization: Idealization | None = None,
+    instructions: int | None = None,
+    seed: int = 1,
+    mode: WrongPathMode = WrongPathMode.EXACT,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    use_cache: bool = True,
+) -> SimResult:
+    """Simulate ``workload`` on ``preset``, optionally idealized."""
+    ideal_name = idealization.name if idealization is not None else ""
+    key = (workload, preset, ideal_name, instructions, seed, mode)
+    if use_cache:
+        cached = _result_cache.get(key)
+        if cached is not None:
+            return cached
+    trace = get_trace(workload, instructions, seed)
+    config = get_preset(preset)
+    if idealization is not None:
+        config = idealization.apply(config)
+    warmup = int(len(trace) * warmup_fraction)
+    result = simulate(
+        trace,
+        config,
+        mode=mode,
+        warmup_instructions=warmup,
+        seed=seed + 777,
+    )
+    if use_cache:
+        _result_cache[key] = result
+    return result

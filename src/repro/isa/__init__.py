@@ -1,0 +1,46 @@
+"""Instruction-set model: architectural registers, micro-ops and macro-ops.
+
+The simulator is trace driven: workload generators (:mod:`repro.workloads`)
+emit sequences of :class:`~repro.isa.instructions.Instruction` macro-ops, each
+already expanded into :class:`~repro.isa.uops.MicroOp` micro-ops by the
+decoder (:mod:`repro.isa.decoder`).  The pipeline consumes micro-ops; the
+frontend uses the macro-op level for instruction-cache and microcode-decode
+timing, exactly as a hardware decoder would.
+"""
+
+from repro.isa.instructions import Instruction, Program
+from repro.isa.registers import (
+    FIRST_VEC_REG,
+    NO_REG,
+    NUM_INT_REGS,
+    NUM_VEC_REGS,
+    TOTAL_REGS,
+    int_reg,
+    is_vec_reg,
+    vec_reg,
+)
+from repro.isa.uops import (
+    MEMORY_CLASSES,
+    VFP_CLASSES,
+    VU_CLASSES,
+    MicroOp,
+    UopClass,
+)
+
+__all__ = [
+    "FIRST_VEC_REG",
+    "MEMORY_CLASSES",
+    "MicroOp",
+    "NO_REG",
+    "NUM_INT_REGS",
+    "NUM_VEC_REGS",
+    "Instruction",
+    "Program",
+    "TOTAL_REGS",
+    "UopClass",
+    "VFP_CLASSES",
+    "VU_CLASSES",
+    "int_reg",
+    "is_vec_reg",
+    "vec_reg",
+]

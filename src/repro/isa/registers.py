@@ -1,0 +1,49 @@
+"""Architectural register namespace.
+
+The ISA exposes a flat integer register namespace split into an integer file
+and a vector/floating-point file, mirroring the split between general-purpose
+and SIMD registers on x86-class cores.  Register identifiers are plain ints so
+the renamer and scheduler can index arrays directly.
+"""
+
+from __future__ import annotations
+
+#: Number of architectural integer registers (GPRs).
+NUM_INT_REGS = 32
+
+#: Number of architectural vector/FP registers (like ZMM0..ZMM31).
+NUM_VEC_REGS = 32
+
+#: First register id belonging to the vector file.
+FIRST_VEC_REG = NUM_INT_REGS
+
+#: Total architectural registers across both files.
+TOTAL_REGS = NUM_INT_REGS + NUM_VEC_REGS
+
+#: Sentinel meaning "no register" (e.g. a store has no destination).
+NO_REG = -1
+
+
+def int_reg(index: int) -> int:
+    """Return the register id of integer register ``index``.
+
+    Raises :class:`ValueError` if ``index`` is outside the integer file.
+    """
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def vec_reg(index: int) -> int:
+    """Return the register id of vector register ``index``.
+
+    Raises :class:`ValueError` if ``index`` is outside the vector file.
+    """
+    if not 0 <= index < NUM_VEC_REGS:
+        raise ValueError(f"vector register index out of range: {index}")
+    return FIRST_VEC_REG + index
+
+
+def is_vec_reg(reg: int) -> bool:
+    """True if ``reg`` names a vector/FP register."""
+    return reg >= FIRST_VEC_REG

@@ -1,0 +1,153 @@
+"""Micro-operation model.
+
+Macro instructions are decoded into one or more micro-ops.  Micro-ops are the
+unit of dispatch, issue and commit in the pipeline; all dependence tracking
+and latency modelling happens at this level, which is also the granularity at
+which the paper's accounting algorithms observe the machine ("an 'instruction'
+here actually means a micro-operation", Sec. V-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.registers import NO_REG
+
+
+class UopClass(enum.IntEnum):
+    """Execution class of a micro-op.
+
+    The class determines which functional unit executes the micro-op and
+    (together with the core configuration) its latency.
+    """
+
+    NOP = 0
+    ALU = 1        #: single-cycle integer ALU op
+    MUL = 2        #: multi-cycle integer multiply
+    DIV = 3        #: long-latency, typically unpipelined divide
+    BRANCH = 4     #: conditional/unconditional branch resolution
+    LOAD = 5       #: memory load
+    STORE = 6      #: memory store (address + data)
+    FP_ADD = 7     #: vector FP add/sub
+    FP_MUL = 8     #: vector FP multiply
+    FP_DIV = 9     #: vector FP divide (long latency)
+    FMA = 10       #: fused multiply-add (2 FLOPs per lane)
+    VEC_INT = 11   #: integer SIMD op (uses the vector unit, zero FLOPs)
+    BROADCAST = 12  #: value broadcast into a vector register (zero FLOPs)
+    SYNC = 13      #: synchronization marker; may yield the core
+
+
+#: Classes that perform vector floating-point work (count toward FLOPS).
+VFP_CLASSES = frozenset(
+    {UopClass.FP_ADD, UopClass.FP_MUL, UopClass.FP_DIV, UopClass.FMA}
+)
+
+#: Classes executed on the vector unit (VFP plus non-FLOP vector work).
+VU_CLASSES = VFP_CLASSES | frozenset({UopClass.VEC_INT, UopClass.BROADCAST})
+
+#: Classes that access the data memory hierarchy.
+MEMORY_CLASSES = frozenset({UopClass.LOAD, UopClass.STORE})
+
+#: FLOPs contributed per active vector lane, by class.
+FLOPS_PER_LANE = {
+    UopClass.FP_ADD: 1,
+    UopClass.FP_MUL: 1,
+    UopClass.FP_DIV: 1,
+    UopClass.FMA: 2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MicroOp:
+    """A single static micro-op within a decoded instruction.
+
+    Instances are immutable: the same program can be replayed through many
+    simulations (e.g. baseline plus idealized configurations) without
+    copying.  All dynamic execution state lives in the pipeline's in-flight
+    records, not here.
+    """
+
+    uclass: UopClass
+    #: Source architectural registers read by this micro-op.
+    srcs: tuple[int, ...] = ()
+    #: Destination architectural register, or ``NO_REG``.
+    dst: int = NO_REG
+    #: Effective memory address for LOAD/STORE micro-ops, else -1.
+    addr: int = -1
+    #: Access size in bytes for memory micro-ops.
+    size: int = 0
+    #: Active (unmasked) vector lanes.  1 for scalar ops.
+    lanes: int = 1
+    #: Hardware vector width in lanes.  1 for scalar ops.
+    width_lanes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lanes < 0 or self.lanes > self.width_lanes:
+            raise ValueError(
+                f"active lanes {self.lanes} outside [0, {self.width_lanes}]"
+            )
+        if self.uclass in MEMORY_CLASSES and self.addr < 0:
+            raise ValueError(f"{self.uclass.name} micro-op requires an address")
+
+    @property
+    def is_vfp(self) -> bool:
+        """True if this micro-op performs vector FP work."""
+        return self.uclass in VFP_CLASSES
+
+    @property
+    def uses_vector_unit(self) -> bool:
+        """True if this micro-op occupies a vector-unit issue slot."""
+        return self.uclass in VU_CLASSES
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.uclass in MEMORY_CLASSES
+
+    @property
+    def flops(self) -> int:
+        """FLOPs performed by this micro-op (0 for non-VFP classes)."""
+        return FLOPS_PER_LANE.get(self.uclass, 0) * self.lanes
+
+    @property
+    def ops_per_lane(self) -> int:
+        """Operation count per active lane: 2 for FMA, 1 for other VFP, 0 else."""
+        return FLOPS_PER_LANE.get(self.uclass, 0)
+
+
+@dataclass(slots=True)
+class WrongPathTemplate:
+    """Statistical recipe for synthesizing wrong-path micro-ops.
+
+    After a branch misprediction the frontend keeps fetching down the wrong
+    path.  Functional-first traces do not contain those instructions, so the
+    frontend synthesizes them from this template: a weighted mix of micro-op
+    classes and a probability that a wrong-path load probes the data cache.
+    """
+
+    #: (uop class, weight) mix used for synthesized wrong-path micro-ops.
+    mix: tuple[tuple[UopClass, float], ...] = (
+        (UopClass.ALU, 0.55),
+        (UopClass.LOAD, 0.25),
+        (UopClass.MUL, 0.05),
+        (UopClass.BRANCH, 0.15),
+    )
+    #: Probability that a wrong-path load actually probes the D-cache.
+    load_probe_prob: float = 0.5
+    _weights: tuple[float, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        total = sum(w for _, w in self.mix)
+        if total <= 0:
+            raise ValueError("wrong-path mix weights must sum to a positive value")
+        self._weights = tuple(w / total for _, w in self.mix)
+
+    def pick_class(self, u: float) -> UopClass:
+        """Map a uniform sample ``u`` in [0, 1) to a micro-op class."""
+        acc = 0.0
+        for (uclass, _), w in zip(self.mix, self._weights):
+            acc += w
+            if u < acc:
+                return uclass
+        return self.mix[-1][0]

@@ -1,0 +1,32 @@
+"""Memory hierarchy substrate.
+
+A non-blocking multi-level hierarchy: split L1 instruction/data caches over
+a **unified** L2 (and optional L3) with finite MSHRs per level, a stream
+prefetcher training on L1D demand misses and injecting into the L2, and a
+latency/bandwidth DRAM model.  Timing is computed analytically at access
+time (Sniper-style): an access walks the hierarchy and returns its absolute
+completion cycle, with MSHR occupancy at every level modelled as queueing.
+
+The unified L2 and the finite L2 MSHR file are not incidental detail: they
+produce the paper's second-order effects — I$/D$ coupling (Fig. 3b) and
+prefetch-induced MSHR contention that defeats the I-cache idealization
+(Fig. 3c).
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.mshr import MshrFile
+from repro.memory.prefetcher import StreamPrefetcher
+from repro.memory.tlb import Tlb
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "DramModel",
+    "MemoryHierarchy",
+    "MshrFile",
+    "StreamPrefetcher",
+    "Tlb",
+]

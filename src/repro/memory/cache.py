@@ -1,0 +1,134 @@
+"""Set-associative write-back cache with true LRU replacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.cores import CacheConfig
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss/eviction counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "prefetch_fills": self.prefetch_fills,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Evicted:
+    """An evicted line (returned so writebacks can consume bandwidth)."""
+
+    line: int
+    dirty: bool
+
+
+class Cache:
+    """One cache level.
+
+    Lines are identified by ``addr >> line_bits``.  Each set is a dict whose
+    insertion order is the LRU order (oldest first); hits reinsert the line
+    to move it to the MRU position.
+    """
+
+    __slots__ = (
+        "name",
+        "config",
+        "line_bits",
+        "set_mask",
+        "latency",
+        "_sets",
+        "stats",
+    )
+
+    def __init__(self, config: CacheConfig, name: str) -> None:
+        self.name = name
+        self.config = config
+        self.line_bits = config.line_bytes.bit_length() - 1
+        if (1 << self.line_bits) != config.line_bytes:
+            raise ValueError("cache line size must be a power of two")
+        self.set_mask = config.num_sets - 1
+        self.latency = config.latency
+        # set index -> {line: dirty}
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self.line_bits
+
+    def _set_for(self, line: int) -> dict[int, bool]:
+        return self._sets[line & self.set_mask]
+
+    def lookup(self, line: int) -> bool:
+        """Access the cache; True on hit.  Updates LRU and statistics."""
+        cache_set = self._set_for(line)
+        self.stats.accesses += 1
+        if line in cache_set:
+            dirty = cache_set.pop(line)
+            cache_set[line] = dirty  # move to MRU position
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Check presence without perturbing LRU or statistics."""
+        return line in self._set_for(line)
+
+    def insert(
+        self, line: int, *, dirty: bool = False, prefetch: bool = False
+    ) -> Evicted | None:
+        """Fill ``line``; returns the victim if one was evicted."""
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set[line] = cache_set[line] or dirty
+            return None
+        victim: Evicted | None = None
+        if len(cache_set) >= self.config.associativity:
+            victim_line = next(iter(cache_set))
+            victim_dirty = cache_set.pop(victim_line)
+            victim = Evicted(victim_line, victim_dirty)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.dirty_evictions += 1
+        cache_set[line] = dirty
+        if prefetch:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    def mark_dirty(self, line: int) -> None:
+        """Set the dirty bit if the line is present."""
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set[line] = True
+
+    def invalidate(self, line: int) -> None:
+        self._set_for(line).pop(line, None)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,251 @@
+"""The composed memory hierarchy with analytic, contention-aware timing.
+
+Access timing is computed at request time by walking the hierarchy: each
+level either hits (adding its latency), merges into an already outstanding
+miss for the same line, or misses — acquiring an MSHR slot (queueing when
+the file is full) and recursing to the next level.  The L2 and L3 are
+unified: the instruction and data chains share them, so instruction fills
+evict data lines and vice versa (the Fig. 3b coupling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.cores import MemoryConfig
+from repro.memory.cache import Cache
+from repro.memory.dram import DramModel
+from repro.memory.mshr import MshrFile
+from repro.memory.prefetcher import StreamPrefetcher
+from repro.memory.tlb import Tlb
+
+#: Chain position labels for reporting.
+_LEVEL_NAMES = ("L1", "L2", "L3", "DRAM")
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of one instruction fetch or data access."""
+
+    #: Absolute cycle at which the data is available.
+    complete: float
+    #: True if the access was served by the first-level cache with no TLB
+    #: miss (i.e. at minimum latency).
+    l1_hit: bool
+    #: Human-readable serving level ("L1", "L2", "L3", "DRAM").
+    level: str
+
+
+class _Level:
+    """One cache level bundled with its MSHR file and outstanding misses."""
+
+    __slots__ = ("cache", "mshr", "outstanding")
+
+    def __init__(self, cache: Cache) -> None:
+        self.cache = cache
+        self.mshr = MshrFile(cache.config.mshrs)
+        #: line -> completion time of the in-flight fill (for miss merging).
+        self.outstanding: dict[int, float] = {}
+
+
+class MemoryHierarchy:
+    """Split L1I/L1D over unified L2 (and optional L3) over DRAM."""
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        *,
+        perfect_icache: bool = False,
+        perfect_dcache: bool = False,
+    ) -> None:
+        self.config = config
+        self.perfect_icache = perfect_icache
+        self.perfect_dcache = perfect_dcache
+        self.l1i = Cache(config.l1i, "L1I")
+        self.l1d = Cache(config.l1d, "L1D")
+        self.l2 = Cache(config.l2, "L2")
+        self.l3 = Cache(config.l3, "L3") if config.l3 is not None else None
+        self.dram = DramModel(config.dram)
+        self.itlb = Tlb(config.itlb)
+        self.dtlb = Tlb(config.dtlb)
+        self.prefetcher = StreamPrefetcher(
+            config.prefetcher, config.l1d.line_bytes
+        )
+        shared = [_Level(self.l2)]
+        if self.l3 is not None:
+            shared.append(_Level(self.l3))
+        self._ichain = [_Level(self.l1i), *shared]
+        self._dchain = [_Level(self.l1d), *shared]
+        self.prefetches_issued = 0
+
+    # -- core walk -------------------------------------------------------------
+
+    def _access(
+        self,
+        chain: list[_Level],
+        idx: int,
+        line: int,
+        now: float,
+        *,
+        prefetch: bool = False,
+    ) -> tuple[float, int]:
+        """Access ``line`` starting at ``chain[idx]``.
+
+        Returns (absolute completion cycle, index of the serving level,
+        with ``len(chain)`` meaning DRAM).
+        """
+        if idx == len(chain):
+            return self.dram.access(now), idx
+        level = chain[idx]
+        cache = level.cache
+        pending = level.outstanding.get(line)
+        if pending is not None:
+            if pending > now:
+                # Merge into the in-flight miss: no new MSHR needed.
+                cache.stats.accesses += 1
+                cache.stats.misses += 1
+                return pending, idx
+            del level.outstanding[line]
+        if cache.lookup(line):
+            return now + cache.latency, idx
+        # Miss: acquire an MSHR (queueing if the file is full), then fill
+        # from below.
+        grant = level.mshr.acquire(now + cache.latency)
+        complete, served = self._access(
+            chain, idx + 1, line, grant, prefetch=prefetch
+        )
+        level.mshr.hold_until(complete)
+        level.outstanding[line] = complete
+        victim = cache.insert(line, prefetch=prefetch)
+        if victim is not None and victim.dirty:
+            self._writeback(chain, idx + 1, victim.line, complete)
+        return complete, served
+
+    def _writeback(
+        self, chain: list[_Level], idx: int, line: int, now: float
+    ) -> None:
+        """Push a dirty victim one level down (or to DRAM)."""
+        if idx == len(chain):
+            self.dram.writeback(now)
+            return
+        below = chain[idx].cache
+        if below.probe(line):
+            below.mark_dirty(line)
+        else:
+            # Non-inclusive write-back: install the dirty line below.
+            victim = below.insert(line, dirty=True)
+            if victim is not None and victim.dirty:
+                self._writeback(chain, idx + 1, victim.line, now)
+
+    @staticmethod
+    def _level_name(chain: list[_Level], idx: int) -> str:
+        if idx >= len(chain):
+            return "DRAM"
+        name = chain[idx].cache.name
+        return name if idx > 0 else "L1"
+
+    # -- public interface -------------------------------------------------------
+
+    def ifetch(self, addr: int, now: float) -> AccessResult:
+        """Fetch the instruction line containing ``addr``."""
+        if self.perfect_icache:
+            return AccessResult(now + self.l1i.latency, True, "L1")
+        extra = self.itlb.access(addr)
+        line = self.l1i.line_of(addr)
+        complete, served = self._access(self._ichain, 0, line, now + extra)
+        # "Hit" means served at minimum latency: TLB misses and merges into
+        # still-outstanding fills are misses even when the line's tag is
+        # already present.
+        l1_hit = complete <= now + self.l1i.latency
+        return AccessResult(
+            complete, l1_hit, self._level_name(self._ichain, served)
+        )
+
+    def dload(self, addr: int, now: float) -> AccessResult:
+        """Demand load; triggers the stream prefetcher."""
+        if self.perfect_dcache:
+            return AccessResult(now + self.l1d.latency, True, "L1")
+        extra = self.dtlb.access(addr)
+        line = self.l1d.line_of(addr)
+        pf_lines = self.prefetcher.on_demand_access(line)
+        complete, served = self._access(self._dchain, 0, line, now + extra)
+        # Prefetches go into the L2 behind the demand access.
+        if pf_lines:
+            self._issue_prefetches(pf_lines, now)
+        l1_hit = complete <= now + self.l1d.latency
+        return AccessResult(
+            complete, l1_hit, self._level_name(self._dchain, served)
+        )
+
+    def dstore(self, addr: int, now: float) -> AccessResult:
+        """Store: write-allocate into L1D, marking the line dirty."""
+        if self.perfect_dcache:
+            return AccessResult(now + self.l1d.latency, True, "L1")
+        extra = self.dtlb.access(addr)
+        line = self.l1d.line_of(addr)
+        complete, served = self._access(self._dchain, 0, line, now + extra)
+        self.l1d.mark_dirty(line)
+        l1_hit = complete <= now + self.l1d.latency
+        return AccessResult(
+            complete, l1_hit, self._level_name(self._dchain, served)
+        )
+
+    def _issue_prefetches(self, lines: list[int], now: float) -> None:
+        """Inject prefetch fills at the L2 (index 1 of the data chain)."""
+        l2_level = self._dchain[1]
+        for line in lines:
+            if line < 0:
+                continue
+            if l2_level.cache.probe(line) or line in l2_level.outstanding:
+                continue
+            self.prefetches_issued += 1
+            self._access(self._dchain, 1, line, now, prefetch=True)
+
+    def probe_latency(self, addr: int, now: float) -> float:
+        """Latency estimate for a wrong-path load: probes without mutation."""
+        if self.perfect_dcache:
+            return now + self.l1d.latency
+        line = self.l1d.line_of(addr)
+        latency = 0.0
+        for level in self._dchain:
+            latency += level.cache.latency
+            if level.cache.probe(line):
+                return now + latency
+            pending = level.outstanding.get(line)
+            if pending is not None and pending > now:
+                return pending
+        return now + latency + self.dram.config.latency
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-structure statistics for simulation reports."""
+        out = {
+            "l1i": self.l1i.stats.as_dict(),
+            "l1d": self.l1d.stats.as_dict(),
+            "l2": self.l2.stats.as_dict(),
+            "dram": {
+                "accesses": self.dram.accesses,
+                "avg_queue_delay": self.dram.average_queue_delay,
+            },
+            "itlb": {
+                "accesses": self.itlb.accesses,
+                "misses": self.itlb.misses,
+            },
+            "dtlb": {
+                "accesses": self.dtlb.accesses,
+                "misses": self.dtlb.misses,
+            },
+            "prefetcher": {
+                "issued": float(self.prefetches_issued),
+                "triggers": float(self.prefetcher.triggers),
+            },
+            "l2_mshr": {
+                "acquisitions": float(self._dchain[1].mshr.acquisitions),
+                "avg_wait": self._dchain[1].mshr.average_wait,
+                "max_wait": self._dchain[1].mshr.max_wait,
+            },
+        }
+        if self.l3 is not None:
+            out["l3"] = self.l3.stats.as_dict()
+        return out

@@ -1,0 +1,16 @@
+"""Out-of-order superscalar core substrate.
+
+A cycle-level model of a modern out-of-order pipeline: fetch with I-cache
+and branch prediction (including wrong-path execution), decode with a
+microcode sequencer, rename/dispatch into ROB + reservation stations,
+oldest-first wakeup-select issue over port- and FU-constrained execution
+units, a non-blocking memory pipeline with store-to-load forwarding and
+conflicts, and in-order commit.  Every cycle it emits one
+:class:`repro.core.observation.CycleObservation` to the accounting layer.
+"""
+
+from repro.pipeline.core import CoreSimulator, simulate
+from repro.pipeline.inflight import InflightUop
+from repro.pipeline.result import SimResult
+
+__all__ = ["CoreSimulator", "InflightUop", "SimResult", "simulate"]

@@ -1,0 +1,559 @@
+"""The out-of-order core simulator: the per-cycle loop wiring all stages.
+
+Stage order within a cycle is writeback -> commit -> issue -> dispatch ->
+fetch/decode, which gives the standard timing: a micro-op dispatched in
+cycle t can issue at t+1, and a completing producer wakes consumers in time
+for same-cycle issue (back-to-back single-cycle chains execute at one op per
+cycle).  One :class:`CycleObservation` is filled per cycle and handed to the
+accounting collector — the paper's measurement point.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+
+from repro.branch.predictors import make_predictor
+from repro.config.cores import CoreConfig
+from repro.core.components import Component
+from repro.core.multistage import MultiStageCollector
+from repro.core.observation import CycleObservation
+from repro.core.wrongpath import WrongPathMode
+from repro.isa.instructions import Program
+from repro.isa.registers import TOTAL_REGS
+from repro.isa.uops import UopClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.frontend import Frontend
+from repro.pipeline.inflight import InflightUop
+from repro.pipeline.resources import FunctionalUnitPool
+from repro.pipeline.result import SimResult
+
+#: Safety net against scheduling bugs: no realistic trace needs more cycles.
+_MAX_CYCLES_PER_UOP = 400
+
+
+class CoreSimulator:
+    """Simulates one program on one core configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: CoreConfig,
+        *,
+        mode: WrongPathMode = WrongPathMode.EXACT,
+        accounting: bool = True,
+        seed: int = 12345,
+        warmup_instructions: int = 0,
+        accounting_width: int | None = None,
+        topdown: bool = False,
+    ) -> None:
+        if config.memory is None:
+            raise ValueError("core configuration needs a memory hierarchy")
+        self.program = program
+        self.config = config
+        self.mode = mode
+        self.hierarchy = MemoryHierarchy(
+            config.memory,
+            perfect_icache=config.perfect_icache,
+            perfect_dcache=config.perfect_dcache,
+        )
+        self.predictor = make_predictor(
+            config.predictor, config.predictor_bits, config.btb_entries
+        )
+        self.frontend = Frontend(
+            program, config, self.hierarchy, self.predictor, seed=seed
+        )
+        #: W for the accounting algorithms; overridable to study the
+        #: Sec. III-A width-normalization choice (see the width ablation).
+        self._accounting_width = (
+            config.accounting_width
+            if accounting_width is None
+            else accounting_width
+        )
+        self._topdown = topdown
+        self.collector: MultiStageCollector | None = None
+        if accounting:
+            self.collector = MultiStageCollector(
+                self._accounting_width,
+                mode=mode,
+                vector_units=config.vector_units,
+                vector_lanes=config.vector_lanes,
+                topdown=topdown,
+            )
+        self.fu = FunctionalUnitPool(config)
+        self.rob: deque[InflightUop] = deque()
+        self.rs: list[InflightUop] = []
+        self.uop_queue: deque[InflightUop] = deque()
+        self.last_writer: list[InflightUop | None] = [None] * TOTAL_REGS
+        self.pending_stores: dict[int, InflightUop] = {}
+        self.completions: dict[int, list[InflightUop]] = {}
+        self.sq_count = 0
+        self.cycle = 0
+        self.committed_uops = 0
+        self.committed_instrs = 0
+        self.unsched_remaining = 0
+        self._spec_mode = mode is WrongPathMode.SPECULATIVE
+        # Warmup emulates the paper's fast-forward: caches, TLBs and the
+        # branch predictor train during the first ``warmup_instructions``
+        # macro instructions, then the stack counters restart.
+        self.warmup_instructions = warmup_instructions
+        self._warmed = warmup_instructions == 0
+        self._measure_cycle0 = 0
+        self._measure_uops0 = 0
+        self._accounting = accounting
+        # Issue-scan quiescence: when a scan issues nothing and no event
+        # (wakeup, dispatch, squash, store commit, unpipelined-unit release)
+        # has changed scheduler state since, the scan result is identical —
+        # reuse it instead of rescanning.  Pure optimization; bitwise
+        # identical results.
+        self._rs_dirty = True
+        self._rs_quiet = False
+        self._has_correct_waiting = False
+        self._issue_obs_cache: tuple = (None, False, False, None, False)
+
+    # -- top-level driver --------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> SimResult:
+        """Simulate to completion and return the result."""
+        if max_cycles is None:
+            max_cycles = _MAX_CYCLES_PER_UOP * max(
+                self.program.uop_count, 1
+            ) + 100_000
+        start = time.perf_counter()
+        while not self._finished():
+            self._step()
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(likely a scheduling deadlock) for {self.program.name}"
+                )
+        wall = time.perf_counter() - start
+        measured_cycles = self.cycle - self._measure_cycle0
+        measured_uops = self.committed_uops - self._measure_uops0
+        report = None
+        if self.collector is not None:
+            report = self.collector.finalize(
+                measured_cycles, measured_uops, name=self.program.name
+            )
+        return SimResult(
+            name=self.program.name,
+            config_name=self.config.name,
+            cycles=measured_cycles,
+            committed_uops=measured_uops,
+            committed_instrs=self.committed_instrs,
+            report=report,
+            memory_stats=self.hierarchy.stats(),
+            branch_lookups=self.predictor.lookups,
+            branch_mispredicts=self.predictor.mispredicts,
+            wrong_path_uops=self.frontend.delivered_wrong,
+            wall_seconds=wall,
+        )
+
+    def _finished(self) -> bool:
+        return (
+            self.frontend.idle
+            and not self.rob
+            and not self.uop_queue
+            and self.unsched_remaining == 0
+        )
+
+    # -- one cycle ---------------------------------------------------------------
+
+    def _step(self) -> None:
+        cycle = self.cycle
+        collector = self.collector
+        obs = CycleObservation() if collector is not None else None
+
+        if self.unsched_remaining > 0:
+            # Core descheduled: nothing moves; the cycle is Unsched.
+            self.unsched_remaining -= 1
+            if self.unsched_remaining == 0:
+                self.frontend.sync_released()
+            if obs is not None:
+                obs.unscheduled = True
+                collector.observe(obs)
+            self.cycle = cycle + 1
+            return
+
+        self._writeback(cycle)
+        self._commit(cycle, obs)
+        self._issue(cycle, obs)
+        self._dispatch(cycle, obs)
+        if obs is not None:
+            # Sample the frontend condition before this cycle's fetch can
+            # clear a just-ended stall's reason: the queue the dispatch
+            # stage saw was shaped by that stall.
+            obs.fe_reason = self.frontend.reason(cycle)
+            obs.wrong_path_active = (
+                self.frontend.wrong_path
+                or obs.fe_reason is Component.BPRED
+            )
+        self._fetch(cycle)
+        if obs is not None:
+            collector.observe(obs)
+        self.cycle = cycle + 1
+        if not self._warmed and self.committed_instrs >= self.warmup_instructions:
+            self._end_warmup()
+
+    def _end_warmup(self) -> None:
+        """Restart measurement with warm caches/TLBs/predictor state."""
+        self._warmed = True
+        self._measure_cycle0 = self.cycle
+        self._measure_uops0 = self.committed_uops
+        if self._accounting:
+            self.collector = MultiStageCollector(
+                self._accounting_width,
+                mode=self.mode,
+                vector_units=self.config.vector_units,
+                vector_lanes=self.config.vector_lanes,
+                topdown=self._topdown,
+            )
+
+    # -- stages -------------------------------------------------------------------
+
+    def _writeback(self, cycle: int) -> None:
+        finishing = self.completions.pop(cycle, None)
+        if not finishing:
+            return
+        self._rs_dirty = True
+        for uop in finishing:
+            if uop.squashed:
+                continue
+            uop.done = True
+            for consumer in uop.consumers:
+                if not consumer.squashed:
+                    consumer.deps_left -= 1
+            if uop.mispredicted:
+                self._squash(uop)
+                self.frontend.redirect(cycle)
+                if self._spec_mode and self.collector is not None:
+                    self.collector.on_squash(uop.block_id)
+
+    def _commit(self, cycle: int, obs: CycleObservation | None) -> None:
+        rob = self.rob
+        width = self.config.commit_width
+        n = 0
+        while n < width and rob and rob[0].done:
+            uop = rob.popleft()
+            self.committed_uops += 1
+            n += 1
+            if uop.is_store:
+                self.sq_count -= 1
+                addr = uop.uop.addr
+                if self.pending_stores.get(addr) is uop:
+                    del self.pending_stores[addr]
+                    self._rs_dirty = True  # forwarding window closed
+            if uop.last_of_instr:
+                self.committed_instrs += 1
+                instr = uop.instr
+                if (
+                    uop.is_branch
+                    and self._spec_mode
+                    and self.collector is not None
+                ):
+                    self.collector.on_block_commit(uop.block_id)
+                if instr is not None and instr.yield_cycles > 0:
+                    # Sync point: the core deschedules starting next cycle.
+                    self.unsched_remaining = instr.yield_cycles
+                    break
+        if obs is not None:
+            obs.n_commit = n
+            obs.rob_empty = not rob
+            obs.rob_head = rob[0] if rob else None
+
+    def _issue(self, cycle: int, obs: CycleObservation | None) -> None:
+        # Note: unpipelined-unit releases coincide with their micro-op's
+        # completion, so the writeback dirty flag already covers them.
+        if self._rs_quiet and not self._rs_dirty:
+            # Nothing changed since a scan that issued nothing: the result
+            # is identical.  Fill the observation from the cached scan.
+            if obs is not None:
+                (
+                    obs.first_nonready_producer,
+                    obs.structural_stall,
+                    obs.vfp_in_rs,
+                    obs.oldest_vfp_producer,
+                    obs.vfp_structural,
+                ) = self._issue_obs_cache
+                obs.rs_empty = not self._has_correct_waiting
+            return
+        fu = self.fu
+        fu.new_cycle(cycle)
+        config = self.config
+        machine_lanes = config.vector_lanes
+        pending_stores = self.pending_stores
+
+        n_issue = 0
+        n_issue_wrong = 0
+        structural = False
+        correct_waiting = 0
+        first_nonready: InflightUop | None = None
+        vfp_in_rs = False
+        vfp_structural = False
+        vu_non_vfp = False
+        oldest_vfp_nonready: InflightUop | None = None
+        flops_issued = 0.0
+        n_vfp = 0
+        non_fma_loss = 0.0
+        masked = 0.0
+
+        new_rs: list[InflightUop] = []
+        for uop in self.rs:
+            if uop.squashed:
+                continue
+            static = uop.uop
+            if uop.deps_left == 0:
+                forward_store: InflightUop | None = None
+                conflict = False
+                if uop.is_load and not uop.wrong_path:
+                    store = pending_stores.get(static.addr)
+                    if (
+                        store is not None
+                        and store.seq < uop.seq
+                        and not store.squashed
+                    ):
+                        if store.done:
+                            forward_store = store
+                        else:
+                            # Address conflict: the load must wait for the
+                            # older store (structural 'Other' stall).
+                            conflict = True
+                if conflict:
+                    structural = True
+                    correct_waiting += 1
+                    new_rs.append(uop)
+                    continue
+                if fu.can_issue(uop.pool):
+                    latency = self._execute(uop, cycle, forward_store)
+                    fu.take(uop.pool, static.uclass, cycle, latency)
+                    if uop.wrong_path:
+                        n_issue_wrong += 1
+                    else:
+                        n_issue += 1
+                        ops = uop.ops
+                        if ops:
+                            lanes = static.lanes
+                            if lanes > machine_lanes:
+                                lanes = machine_lanes
+                            flops_issued += ops * lanes
+                            n_vfp += 1
+                            non_fma_loss += (2 - ops) * lanes
+                            masked += machine_lanes - lanes
+                        elif uop.is_vu_nonvfp:
+                            vu_non_vfp = True
+                    continue  # issued: leaves the reservation stations
+                structural = True
+                if not uop.wrong_path:
+                    correct_waiting += 1
+                    if uop.ops:
+                        vfp_in_rs = True
+                        vfp_structural = True
+            else:
+                if not uop.wrong_path:
+                    correct_waiting += 1
+                    if first_nonready is None:
+                        first_nonready = uop
+                    if uop.ops:
+                        vfp_in_rs = True
+                        if oldest_vfp_nonready is None:
+                            oldest_vfp_nonready = uop
+            new_rs.append(uop)
+        self.rs = new_rs
+
+        first_producer = (
+            first_nonready.first_unfinished_producer()
+            if first_nonready is not None
+            else None
+        )
+        oldest_vfp_producer = (
+            oldest_vfp_nonready.first_unfinished_producer()
+            if oldest_vfp_nonready is not None
+            else None
+        )
+        self._rs_dirty = False
+        self._rs_quiet = n_issue + n_issue_wrong == 0
+        self._has_correct_waiting = correct_waiting > 0
+        self._issue_obs_cache = (
+            first_producer,
+            structural,
+            vfp_in_rs,
+            oldest_vfp_producer,
+            vfp_structural,
+        )
+        if obs is not None:
+            obs.n_issue = n_issue
+            obs.n_issue_wrong = n_issue_wrong
+            obs.rs_empty = correct_waiting == 0
+            obs.structural_stall = structural
+            obs.first_nonready_producer = first_producer
+            obs.flops_issued = flops_issued
+            obs.n_vfp_issued = n_vfp
+            obs.non_fma_loss_lanes = non_fma_loss
+            obs.masked_lanes = masked
+            obs.vfp_in_rs = vfp_in_rs
+            obs.vu_used_by_non_vfp = vu_non_vfp
+            obs.vfp_structural = vfp_structural
+            obs.oldest_vfp_producer = oldest_vfp_producer
+
+    def _execute(
+        self,
+        uop: InflightUop,
+        cycle: int,
+        forward_store: InflightUop | None,
+    ) -> int:
+        """Start execution; returns the FU occupancy latency."""
+        static = uop.uop
+        uclass = static.uclass
+        uop.issued = True
+        uop.issue_cycle = cycle
+        if uclass is UopClass.LOAD:
+            if uop.wrong_path:
+                complete = int(
+                    math.ceil(self.hierarchy.probe_latency(static.addr, cycle))
+                )
+            elif forward_store is not None:
+                # Store-to-load forwarding out of the store queue.
+                complete = cycle + 1
+            else:
+                result = self.hierarchy.dload(static.addr, cycle)
+                complete = int(math.ceil(result.complete))
+                uop.dcache_miss = not result.l1_hit
+            latency = 1
+        elif uclass is UopClass.STORE:
+            if not uop.wrong_path:
+                # Stores drain through the store buffer; the access updates
+                # cache state and bandwidth but does not stall the pipe.
+                self.hierarchy.dstore(static.addr, cycle)
+            complete = cycle + 1
+            latency = 1
+        else:
+            latency = self.config.latency_of(uclass)
+            complete = cycle + latency
+        if complete <= cycle:
+            complete = cycle + 1
+        uop.complete_cycle = complete
+        bucket = self.completions.get(complete)
+        if bucket is None:
+            self.completions[complete] = [uop]
+        else:
+            bucket.append(uop)
+        return latency
+
+    def _dispatch(self, cycle: int, obs: CycleObservation | None) -> None:
+        config = self.config
+        queue = self.uop_queue
+        rob = self.rob
+        rs = self.rs
+        width = config.dispatch_width
+        rob_size = config.rob_size
+        rs_size = config.rs_size
+        sq_size = config.store_queue_size
+        n = 0
+        n_wrong = 0
+        queue_empty = False
+        window_full = False
+        while n + n_wrong < width:
+            if not queue:
+                queue_empty = True
+                break
+            uop = queue[0]
+            if (
+                len(rob) >= rob_size
+                or len(rs) >= rs_size
+                or (uop.is_store and self.sq_count >= sq_size)
+            ):
+                window_full = True
+                break
+            queue.popleft()
+            self._rename(uop)
+            rob.append(uop)
+            rs.append(uop)
+            self._rs_dirty = True
+            if uop.is_store:
+                self.sq_count += 1
+                if not uop.wrong_path and uop.uop.addr >= 0:
+                    self.pending_stores[uop.uop.addr] = uop
+            if uop.wrong_path:
+                n_wrong += 1
+            else:
+                n += 1
+            if self._spec_mode and self.collector is not None:
+                self.collector.set_block(uop.block_id)
+        if obs is not None:
+            obs.n_dispatch = n
+            obs.n_dispatch_wrong = n_wrong
+            obs.uop_queue_empty = queue_empty
+            obs.window_full = window_full
+            if window_full and obs.rob_head is None and rob:
+                obs.rob_head = rob[0]
+
+    def _rename(self, uop: InflightUop) -> None:
+        last_writer = self.last_writer
+        for src in uop.uop.srcs:
+            producer = last_writer[src]
+            if (
+                producer is not None
+                and not producer.done
+                and not producer.squashed
+            ):
+                uop.producers.append(producer)
+                producer.consumers.append(uop)
+                uop.deps_left += 1
+        dst = uop.uop.dst
+        if dst >= 0:
+            last_writer[dst] = uop
+
+    def _fetch(self, cycle: int) -> None:
+        room = self.config.uop_queue_size - len(self.uop_queue)
+        if room <= 0:
+            return
+        for uop in self.frontend.deliver(cycle, room):
+            self.uop_queue.append(uop)
+
+    def _squash(self, branch: InflightUop) -> None:
+        """Flush everything younger than the mispredicted ``branch``."""
+        boundary = branch.seq
+        rob = self.rob
+        pending_stores = self.pending_stores
+        while rob and rob[-1].seq > boundary:
+            uop = rob.pop()
+            uop.squashed = True
+            if uop.is_store:
+                self.sq_count -= 1
+                addr = uop.uop.addr
+                if pending_stores.get(addr) is uop:
+                    del pending_stores[addr]
+        for uop in self.uop_queue:
+            uop.squashed = True
+        self.uop_queue.clear()
+        self.rs = [u for u in self.rs if not u.squashed]
+        self._rs_dirty = True
+        last_writer: list[InflightUop | None] = [None] * TOTAL_REGS
+        for uop in rob:
+            dst = uop.uop.dst
+            if dst >= 0:
+                last_writer[dst] = uop
+        self.last_writer = last_writer
+
+
+def simulate(
+    program: Program,
+    config: CoreConfig,
+    *,
+    mode: WrongPathMode = WrongPathMode.EXACT,
+    accounting: bool = True,
+    seed: int = 12345,
+    warmup_instructions: int = 0,
+    topdown: bool = False,
+) -> SimResult:
+    """Convenience wrapper: build a :class:`CoreSimulator` and run it."""
+    return CoreSimulator(
+        program,
+        config,
+        mode=mode,
+        accounting=accounting,
+        seed=seed,
+        warmup_instructions=warmup_instructions,
+        topdown=topdown,
+    ).run()

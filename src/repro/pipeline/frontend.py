@@ -1,0 +1,279 @@
+"""Frontend: fetch, branch prediction, decode and micro-op delivery.
+
+The frontend walks the functional-first trace, paying instruction-cache
+latency per fetched line, consulting the branch predictor on every branch,
+and expanding macro-ops into micro-ops (rate-limited by the microcode
+sequencer for microcoded instructions).  On a misprediction it switches to
+**wrong-path mode**, synthesizing micro-ops from the configured wrong-path
+template until the core resolves the branch and redirects it; the
+correct-path trace position is untouched, so fetch resumes exactly at the
+fall-through/target instruction after the redirect penalty.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config.cores import CoreConfig
+from repro.core.components import Component
+from repro.branch.predictors import BranchPredictor
+from repro.isa.instructions import Instruction, Program
+from repro.isa.registers import NUM_INT_REGS
+from repro.isa.uops import MicroOp, UopClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.inflight import InflightUop
+
+#: Integer registers the wrong-path synthesizer rotates through.
+_WP_REG_BASE = NUM_INT_REGS - 8
+_WP_REG_COUNT = 8
+
+
+class Frontend:
+    """Delivers renamed-ready micro-ops into the dispatch queue."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        *,
+        seed: int = 12345,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self._instructions = program.instructions
+        self._count = len(self._instructions)
+        self._idx = 0
+        # Current macro-op expansion state.
+        self._pending: list[MicroOp] = []
+        self._pending_instr: Instruction | None = None
+        # Monotonic micro-op sequence and basic-block counters.
+        self.seq = 0
+        self.block = 0
+        # Stall state.
+        self._stall_until = 0
+        self._stall_reason: Component | None = None
+        self._last_reason: Component | None = None
+        self._last_line = -1
+        # Wrong-path state.
+        self.wrong_path = False
+        self.resolving_branch: InflightUop | None = None
+        self._wp_prev_dst = -1
+        self._wp_counter = 0
+        self._wp_data_addr = 1 << 22
+        self._rng = random.Random(seed)
+        # Synchronization barrier state.
+        self.waiting_sync: InflightUop | None = None
+        # Statistics.
+        self.delivered = 0
+        self.delivered_wrong = 0
+        self.icache_stall_cycles = 0
+
+    # -- status ------------------------------------------------------------------
+
+    @property
+    def trace_exhausted(self) -> bool:
+        return self._idx >= self._count and not self._pending
+
+    @property
+    def idle(self) -> bool:
+        """True once the frontend will never deliver again."""
+        return (
+            self.trace_exhausted
+            and not self.wrong_path
+            and self.waiting_sync is None
+        )
+
+    def reason(self, cycle: int) -> Component | None:
+        """Why the frontend is not (fully) delivering this cycle."""
+        if self.waiting_sync is not None:
+            return Component.UNSCHED
+        if cycle < self._stall_until:
+            return self._stall_reason
+        if self.wrong_path:
+            return Component.BPRED
+        if self.trace_exhausted:
+            return None
+        if (
+            self._pending_instr is not None
+            and self._pending_instr.microcoded
+        ):
+            return Component.MICROCODE
+        return self._last_reason
+
+    # -- control from the core ------------------------------------------------
+
+    def redirect(self, cycle: int) -> None:
+        """Mispredicted branch resolved: flush and refetch correct path."""
+        self.wrong_path = False
+        self.resolving_branch = None
+        self._pending.clear()
+        self._pending_instr = None
+        self._stall(cycle + self.config.redirect_penalty, Component.BPRED)
+        self._last_line = -1
+        self.block += 1
+
+    def sync_released(self) -> None:
+        """The yield following a sync instruction has completed."""
+        self.waiting_sync = None
+
+    def _stall(self, until: float, reason: Component) -> None:
+        if until > self._stall_until:
+            self._stall_until = int(until)
+        self._stall_reason = reason
+        self._last_reason = reason
+
+    # -- delivery ----------------------------------------------------------------
+
+    def deliver(self, cycle: int, room: int) -> list[InflightUop]:
+        """Produce up to decode-width micro-ops for the dispatch queue."""
+        out: list[InflightUop] = []
+        if room <= 0 or self.waiting_sync is not None:
+            return out
+        if cycle < self._stall_until:
+            if self._stall_reason is Component.ICACHE:
+                self.icache_stall_cycles += 1
+            return out
+        budget = min(self.config.decode_width, room)
+        if self.wrong_path:
+            self._deliver_wrong_path(budget, out)
+            return out
+        micro_budget = self.config.microcode_uops_per_cycle
+        delivered_any = False
+        while budget > 0:
+            if self._pending:
+                instr = self._pending_instr
+                assert instr is not None
+                if instr.microcoded:
+                    if micro_budget <= 0:
+                        self._last_reason = Component.MICROCODE
+                        break
+                    micro_budget -= 1
+                uop = self._pending.pop(0)
+                last = not self._pending
+                inflight = self._wrap(uop, instr, last)
+                out.append(inflight)
+                delivered_any = True
+                budget -= 1
+                if last and not self._finish_instr(instr, inflight, cycle):
+                    break
+                continue
+            if self._idx >= self._count:
+                break
+            if not self._start_instr(cycle):
+                break
+        # A successful delivery ends the previous stall's tail: later empty
+        # queues are throughput effects, not that stall's aftermath.
+        if (
+            delivered_any
+            and cycle >= self._stall_until
+            and not self.wrong_path
+        ):
+            self._last_reason = None
+        return out
+
+    def _start_instr(self, cycle: int) -> bool:
+        """Fetch the next macro-op; False if fetch stalled."""
+        instr = self._instructions[self._idx]
+        line = instr.pc >> self.hierarchy.l1i.line_bits
+        if line != self._last_line:
+            result = self.hierarchy.ifetch(instr.pc, cycle)
+            self._last_line = line
+            if result.complete > cycle + self.hierarchy.l1i.latency:
+                self._stall(result.complete, Component.ICACHE)
+                return False
+        self._idx += 1
+        self._pending = list(instr.uops)
+        self._pending_instr = instr
+        if instr.microcoded and instr.decode_cycles > len(instr.uops):
+            # Sequencer setup cycles beyond the per-uop emission rate.
+            extra = instr.decode_cycles - len(instr.uops)
+            self._stall(cycle + extra, Component.MICROCODE)
+            return False
+        return True
+
+    def _wrap(
+        self, uop: MicroOp, instr: Instruction, last: bool
+    ) -> InflightUop:
+        inflight = InflightUop(
+            uop,
+            instr,
+            self.seq,
+            self.block,
+            last_of_instr=last,
+            multi_cycle=self.config.latency_of(uop.uclass) > 1,
+        )
+        self.seq += 1
+        self.delivered += 1
+        if uop.uclass is UopClass.LOAD and uop.addr >= 0:
+            self._wp_data_addr = uop.addr
+        return inflight
+
+    def _finish_instr(
+        self, instr: Instruction, last_uop: InflightUop, cycle: int
+    ) -> bool:
+        """Handle end-of-macro-op events; False ends this cycle's delivery."""
+        self._pending_instr = None
+        if instr.yield_cycles > 0:
+            self.waiting_sync = last_uop
+            return False
+        if not instr.is_branch:
+            return True
+        self.block += 1
+        if self.config.perfect_bpred:
+            return True
+        prediction = self.predictor.predict(instr.pc)
+        mispredicted = not prediction.correct_for(instr.taken, instr.target)
+        self.predictor.update(instr.pc, instr.taken, instr.next_pc)
+        self.predictor.record(mispredicted)
+        if not mispredicted:
+            return True
+        # Find the BRANCH micro-op of this instruction (the resolver).
+        branch_uop = last_uop
+        branch_uop.mispredicted = True
+        self.wrong_path = True
+        self.resolving_branch = branch_uop
+        self._wp_prev_dst = -1
+        self.block += 1  # wrong-path work gets its own basic block(s)
+        return False
+
+    def _deliver_wrong_path(
+        self, budget: int, out: list[InflightUop]
+    ) -> None:
+        """Synthesize wrong-path micro-ops from the configured template."""
+        template = self.config.wrong_path
+        rng = self._rng
+        for _ in range(budget):
+            uclass = template.pick_class(rng.random())
+            if (
+                uclass is UopClass.LOAD
+                and rng.random() >= template.load_probe_prob
+            ):
+                uclass = UopClass.ALU
+            dst = _WP_REG_BASE + self._wp_counter % _WP_REG_COUNT
+            self._wp_counter += 1
+            srcs: tuple[int, ...] = ()
+            if self._wp_prev_dst >= 0 and rng.random() < 0.4:
+                srcs = (self._wp_prev_dst,)
+            addr = -1
+            if uclass is UopClass.LOAD:
+                addr = max(
+                    0,
+                    self._wp_data_addr + rng.randrange(-8192, 8192),
+                )
+            uop = MicroOp(uclass, srcs=srcs, dst=dst, addr=addr, size=8)
+            inflight = InflightUop(
+                uop,
+                None,
+                self.seq,
+                self.block,
+                wrong_path=True,
+                last_of_instr=True,
+                multi_cycle=self.config.latency_of(uclass) > 1,
+            )
+            self.seq += 1
+            self.delivered_wrong += 1
+            self._wp_prev_dst = dst
+            out.append(inflight)

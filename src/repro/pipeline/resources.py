@@ -1,0 +1,68 @@
+"""Execution resources: functional-unit pools and issue-port bookkeeping.
+
+Each cycle the scheduler asks the pool whether a micro-op can start this
+cycle; pipelined units offer one issue slot per unit per cycle, while
+unpipelined units (divides) stay busy for their full latency.  The pool is
+indexed by the integer pool ids precomputed on each
+:class:`repro.pipeline.inflight.InflightUop` (this sits on the per-cycle
+fast path of the simulator).
+"""
+
+from __future__ import annotations
+
+from repro.config.cores import CoreConfig
+from repro.isa.uops import UopClass
+from repro.pipeline.inflight import POOL_MUL
+
+#: Number of distinct FU pools (alu, mul, vu, load, store, branch).
+_NUM_POOLS = 6
+
+
+class FunctionalUnitPool:
+    """Per-cycle functional-unit and port availability."""
+
+    __slots__ = ("config", "_mul_busy_until", "_free", "_issue_free",
+                 "_unpipelined")
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        #: Busy-until cycle for each (unpipelined-capable) multiply unit.
+        self._mul_busy_until = [0] * config.mul_units
+        self._free = [0] * _NUM_POOLS
+        self._issue_free = 0
+        self._unpipelined = frozenset(int(c) for c in config.unpipelined)
+
+    def new_cycle(self, cycle: int) -> None:
+        """Reset per-cycle slot counters."""
+        config = self.config
+        free = self._free
+        free[0] = config.alu_units
+        free[1] = sum(1 for busy in self._mul_busy_until if busy <= cycle)
+        free[2] = config.vector_units
+        free[3] = config.load_ports
+        free[4] = config.store_ports
+        free[5] = config.branch_units
+        self._issue_free = config.issue_width
+
+    def can_issue(self, pool: int) -> bool:
+        """True if a micro-op using ``pool`` can start this cycle."""
+        return self._issue_free > 0 and self._free[pool] > 0
+
+    def take(self, pool: int, uclass: UopClass, cycle: int, latency: int) -> None:
+        """Consume the slot for an issued micro-op."""
+        self._issue_free -= 1
+        self._free[pool] -= 1
+        if pool == POOL_MUL and int(uclass) in self._unpipelined:
+            self._reserve_mul(cycle, latency)
+
+    def _reserve_mul(self, cycle: int, latency: int) -> None:
+        """Mark the earliest-free multiply unit busy until completion."""
+        best = 0
+        for index, busy in enumerate(self._mul_busy_until):
+            if busy <= cycle:
+                best = index
+                break
+        self._mul_busy_until[best] = cycle + latency
+
+    def reset(self) -> None:
+        self._mul_busy_until = [0] * self.config.mul_units

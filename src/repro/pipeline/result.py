@@ -1,0 +1,75 @@
+"""Simulation results: cycles, commit counts, stacks and substrate stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.multistage import MultiStageReport
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Everything one core simulation produced."""
+
+    name: str
+    config_name: str
+    cycles: int
+    #: Correct-path micro-ops committed (the CPI denominator; the paper's
+    #: accounting operates on micro-ops, Sec. V-B).
+    committed_uops: int
+    #: Correct-path macro instructions committed.
+    committed_instrs: int
+    #: Multi-stage CPI stacks (and FLOPS stack), if accounting was enabled.
+    report: MultiStageReport | None = None
+    #: Per-structure memory hierarchy statistics.
+    memory_stats: dict = field(default_factory=dict)
+    #: Branch predictor statistics.
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    #: Wrong-path micro-ops the frontend injected.
+    wrong_path_uops: int = 0
+    #: Host wall-clock seconds spent simulating.
+    wall_seconds: float = 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed micro-op."""
+        if self.committed_uops == 0:
+            return 0.0
+        return self.cycles / self.committed_uops
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.committed_uops / self.cycles
+
+    @property
+    def cpi_per_instr(self) -> float:
+        """Cycles per committed macro instruction."""
+        if self.committed_instrs == 0:
+            return 0.0
+        return self.cycles / self.committed_instrs
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.branch_lookups == 0:
+            return 0.0
+        return self.branch_mispredicts / self.branch_lookups
+
+    @property
+    def simulated_uops_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.committed_uops / self.wall_seconds
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "uops": self.committed_uops,
+            "instructions": self.committed_instrs,
+            "cpi": self.cpi,
+            "ipc": self.ipc,
+            "mispredict_rate": self.mispredict_rate,
+            "wall_seconds": self.wall_seconds,
+        }

@@ -1,0 +1,10 @@
+"""Descriptive statistics used by the experiment harness and reports."""
+
+from repro.stats.descriptive import (
+    BoxStats,
+    boxplot_stats,
+    mean,
+    quantile,
+)
+
+__all__ = ["BoxStats", "boxplot_stats", "mean", "quantile"]

@@ -1,0 +1,67 @@
+"""Boxplot-style descriptive statistics (Fig. 2 presentation).
+
+"Boxes are bound by the first and third quartile, the median is the line in
+the box, and the whiskers extend to the extreme values."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return float(np.mean(values))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    return float(np.quantile(values, q))
+
+
+@dataclass(frozen=True, slots=True)
+class BoxStats:
+    """Five-number summary matching the paper's boxplot convention."""
+
+    low: float       #: whisker: minimum value
+    q1: float        #: first quartile (box bottom)
+    median: float    #: median (line in the box)
+    q3: float        #: third quartile (box top)
+    high: float      #: whisker: maximum value
+    n: int           #: population size
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "low": self.low,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "high": self.high,
+            "n": self.n,
+        }
+
+
+def boxplot_stats(values: Sequence[float]) -> BoxStats:
+    """Five-number summary with whiskers at the extremes (as in Fig. 2)."""
+    if not values:
+        raise ValueError("boxplot of empty sequence")
+    arr = np.asarray(values, dtype=float)
+    return BoxStats(
+        low=float(arr.min()),
+        q1=float(np.quantile(arr, 0.25)),
+        median=float(np.quantile(arr, 0.5)),
+        q3=float(np.quantile(arr, 0.75)),
+        high=float(arr.max()),
+        n=int(arr.size),
+    )

@@ -1,0 +1,25 @@
+"""Presentation: ASCII stacked bars, result tables and CSV export.
+
+The offline environment has no plotting stack, so every paper figure is
+regenerated as text: stacked bars render as labelled horizontal bars and
+boxplots as five-number-summary tables.
+"""
+
+from repro.viz.ascii import (
+    render_boxplot_table,
+    render_cpi_stack,
+    render_flops_stack,
+    render_stack_bar,
+    render_table,
+)
+from repro.viz.export import rows_to_csv, write_csv
+
+__all__ = [
+    "render_boxplot_table",
+    "render_cpi_stack",
+    "render_flops_stack",
+    "render_stack_bar",
+    "render_table",
+    "rows_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,115 @@
+"""ASCII renderers for stacks, tables and boxplot summaries."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.components import CPI_COMPONENTS, FLOPS_COMPONENTS
+from repro.core.stack import CpiStack, FlopsStack
+from repro.stats.descriptive import BoxStats
+
+#: Default width (characters) of a full-scale bar.
+BAR_WIDTH = 48
+
+
+def render_stack_bar(
+    components: Mapping,
+    *,
+    order: Sequence,
+    scale: float | None = None,
+    width: int = BAR_WIDTH,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a stacked value as labelled horizontal component bars."""
+    total = sum(components.values())
+    if scale is None:
+        scale = total if total > 0 else 1.0
+    lines = []
+    for component in order:
+        value = components.get(component, 0.0)
+        if value <= 0:
+            continue
+        filled = max(1, round(width * value / scale)) if value else 0
+        label = getattr(component, "value", str(component))
+        lines.append(
+            f"  {label:<10} {'#' * filled:<{width}} "
+            + value_format.format(value)
+        )
+    lines.append(f"  {'total':<10} {'':<{width}} "
+                 + value_format.format(total))
+    return "\n".join(lines)
+
+
+def render_cpi_stack(stack: CpiStack, *, scale: float | None = None) -> str:
+    """Render a CPI stack (one bar per component, in CPI units)."""
+    header = f"{stack.name or 'stack'} @ {stack.stage}: CPI={stack.cpi():.3f}"
+    body = render_stack_bar(
+        stack.cpi_components(), order=CPI_COMPONENTS, scale=scale
+    )
+    return f"{header}\n{body}"
+
+
+def render_flops_stack(
+    stack: FlopsStack,
+    frequency_ghz: float,
+    cores: int = 1,
+) -> str:
+    """Render a FLOPS-rate stack (GFLOPS; height = peak GFLOPS)."""
+    rates = stack.rate_components(frequency_ghz, cores)
+    peak = stack.peak_per_cycle * frequency_ghz * cores
+    achieved = stack.gflops(frequency_ghz, cores)
+    header = (
+        f"{stack.name or 'flops'}: {achieved:,.0f} / {peak:,.0f} GFLOPS "
+        f"({100 * stack.achieved_fraction():.0f}% of peak)"
+    )
+    body = render_stack_bar(
+        rates, order=FLOPS_COMPONENTS, scale=peak, value_format="{:,.0f}"
+    )
+    return f"{header}\n{body}"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    divider = "  ".join("-" * w for w in widths)
+    lines = [header, divider]
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_boxplot_table(
+    stats: Mapping[str, BoxStats], *, title: str = ""
+) -> str:
+    """Render boxplot summaries (Fig. 2 style) as a table."""
+    rows = []
+    for name, box in stats.items():
+        row: dict[str, object] = {"series": name}
+        row.update(box.as_row())
+        rows.append(row)
+    table = render_table(
+        rows, columns=["series", "low", "q1", "median", "q3", "high", "n"]
+    )
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,44 @@
+"""Synthetic workload generators.
+
+The paper evaluates on SPEC CPU 2017 (multi-stage CPI stacks) and DeepBench
+sgemm/convolution kernels (FLOPS stacks).  Neither ships as replayable
+traces, so this package synthesizes deterministic instruction traces that
+reproduce the *bottleneck structure* each evaluation case relies on:
+pointer-chasing D-cache pressure (mcf), large-footprint I$/D$ contention
+(cactus), prefetch-heavy streaming (bwaves), microcoded FP (povray),
+multi-cycle ALU chains (imagick), and the two sgemm code styles plus three
+convolution phases of DeepBench.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.workloads.base import (
+    RESERVED_INT_REGS,
+    TraceBuilder,
+    WorkloadSpec,
+)
+from repro.workloads.deepbench import (
+    DEEPBENCH_CONFIGS,
+    DeepBenchKernel,
+    conv_trace,
+    sgemm_trace,
+)
+from repro.workloads.registry import (
+    SPEC_LIKE_NAMES,
+    WORKLOADS,
+    get_workload,
+    make_trace,
+)
+
+__all__ = [
+    "DEEPBENCH_CONFIGS",
+    "DeepBenchKernel",
+    "RESERVED_INT_REGS",
+    "SPEC_LIKE_NAMES",
+    "TraceBuilder",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "conv_trace",
+    "get_workload",
+    "make_trace",
+    "sgemm_trace",
+]

@@ -1,0 +1,260 @@
+"""DeepBench-like HPC kernel traces for FLOPS-stack evaluation.
+
+The paper evaluates FLOPS stacks on DeepBench sgemm (MKL) and convolution
+(MKL-DNN) kernels.  We synthesize the two code styles the paper describes
+(Sec. V-B):
+
+* **KNL JIT style** — "the MKL just-in-time (jit) code engine uses FMA
+  operations with a memory operand, meaning that the instruction is split
+  into a L1 Dcache access and an FMA calculation" -> large FLOPS `mem`
+  component even without cache misses.
+* **SKX style** — "first loading data from memory, broadcasting the values
+  in an AVX512 register, and using this register in multiple FMA operations
+  without memory operand.  The FMA instructions are dependent on the
+  broadcast instruction" -> large FLOPS `depend` component.
+
+Convolution phases mix integer SIMD reshuffling, address arithmetic and
+border masking with the FMA work, giving the low VFP micro-op fraction (and
+hence the large FLOPS `frontend` component) of Fig. 4, plus periodic
+synchronization yields that appear as `Unsched` (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import decoder as asm
+from repro.isa.instructions import Program
+from repro.workloads.base import DATA_BASE, TraceBuilder
+
+LINE = 64
+
+#: Vector accumulators available to the kernels (zmm-style).
+_ACC_REGS = tuple(range(40, 52))
+#: Registers holding loop-invariant operands / broadcast values.
+_B_REGS = tuple(range(33, 39))
+_BCAST_REG = 39
+
+
+@dataclass(frozen=True, slots=True)
+class DeepBenchKernel:
+    """One DeepBench problem configuration (shape-level parameters)."""
+
+    name: str
+    kind: str  # "sgemm" | "conv"
+    group: str  # "train" | "inference" (sgemm); "train" for conv
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+
+#: Representative DeepBench configurations (a subset of the 235 sgemm and
+#: 94 convolution problems; shapes follow the published DeepBench suite).
+DEEPBENCH_CONFIGS: tuple[DeepBenchKernel, ...] = (
+    # sgemm training
+    DeepBenchKernel("gemm-train-1760", "sgemm", "train", 1760, 128, 1760),
+    DeepBenchKernel("gemm-train-2048", "sgemm", "train", 2048, 64, 2048),
+    DeepBenchKernel("gemm-train-2560", "sgemm", "train", 2560, 64, 2560),
+    DeepBenchKernel("gemm-train-4096", "sgemm", "train", 4096, 16, 4096),
+    DeepBenchKernel("gemm-train-5124", "sgemm", "train", 5124, 9124, 2560),
+    DeepBenchKernel("gemm-train-35", "sgemm", "train", 35, 8457, 2560),
+    # sgemm inference (smaller batch -> more masking / less reuse)
+    DeepBenchKernel("gemm-infer-5120", "sgemm", "inference", 5120, 1, 2560),
+    DeepBenchKernel("gemm-infer-3072", "sgemm", "inference", 3072, 2, 1024),
+    DeepBenchKernel("gemm-infer-7680", "sgemm", "inference", 7680, 1, 2560),
+    DeepBenchKernel("gemm-infer-512", "sgemm", "inference", 512, 4, 512),
+    DeepBenchKernel("gemm-infer-1024", "sgemm", "inference", 1024, 7, 500),
+    # convolution layers (m ~ output pixels, n ~ filters, k ~ c*r*s)
+    DeepBenchKernel("conv-resnet-1", "conv", "train", 700, 161, 225),
+    DeepBenchKernel("conv-resnet-2", "conv", "train", 341, 79, 800),
+    DeepBenchKernel("conv-vgg-1", "conv", "train", 224, 64, 27),
+    DeepBenchKernel("conv-vgg-2", "conv", "train", 112, 128, 576),
+    DeepBenchKernel("conv-deepspeech", "conv", "train", 79, 32, 410),
+    DeepBenchKernel("conv-ocr", "conv", "train", 48, 480, 1024),
+)
+
+
+def sgemm_configs() -> list[DeepBenchKernel]:
+    return [c for c in DEEPBENCH_CONFIGS if c.kind == "sgemm"]
+
+
+def conv_configs() -> list[DeepBenchKernel]:
+    return [c for c in DEEPBENCH_CONFIGS if c.kind == "conv"]
+
+
+def _mask_lanes(config: DeepBenchKernel, width: int) -> int:
+    """Active lanes of the (partial) edge vector for this shape."""
+    rem = config.n % width
+    return rem if rem else width
+
+
+def sgemm_trace(
+    config: DeepBenchKernel,
+    style: str,
+    instructions: int = 24_000,
+    seed: int = 1,
+    *,
+    vector_lanes: int = 16,
+) -> Program:
+    """Blocked sgemm inner kernel in the KNL-JIT or SKX code style."""
+    if style not in ("knl", "skx"):
+        raise ValueError("sgemm style must be 'knl' or 'skx'")
+    b = TraceBuilder(f"sgemm-{style}-{config.name}", seed)
+    # B panel streams through an L1-resident block.
+    panel_lines = 256  # 16 KB: L1-resident, as in a blocked MKL kernel
+    b_idx = 0
+    # Edge vectors are masked when n is not a multiple of the width.
+    edge_lanes = _mask_lanes(config, vector_lanes)
+    n_acc = len(_ACC_REGS)
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        if style == "skx":
+            # Load + broadcast one A element, then reuse it in many FMAs.
+            a_addr = DATA_BASE + 0x100000 + (b_idx % 512) * 8
+            b.emit(
+                asm.broadcast(
+                    b.pc, dst=_BCAST_REG, width_lanes=vector_lanes,
+                    mem_addr=a_addr, addr_srcs=(1,),
+                )
+            )
+        for step in range(n_acc):
+            acc = _ACC_REGS[step]
+            # Every 8th vector is a masked edge vector.
+            lanes = edge_lanes if (b_idx + step) % 8 == 7 else vector_lanes
+            if style == "knl":
+                # JIT style: FMA with memory operand -> load + FMA pair.
+                addr = DATA_BASE + (b_idx % panel_lines) * LINE
+                b.emit(
+                    asm.fma(
+                        b.pc, dst=acc,
+                        srcs=(acc, _B_REGS[step % len(_B_REGS)]),
+                        lanes=lanes, width_lanes=vector_lanes,
+                        mem_addr=addr, addr_srcs=(1,),
+                    )
+                )
+            else:
+                b.emit(
+                    asm.fma(
+                        b.pc, dst=acc,
+                        srcs=(acc, _BCAST_REG,
+                              _B_REGS[step % len(_B_REGS)]),
+                        lanes=lanes, width_lanes=vector_lanes,
+                    )
+                )
+                # Register-resident operands need their own load and
+                # address-arithmetic micro-ops: this is why the SKX code
+                # style has a visibly lower VFP micro-op fraction.
+                if step % 2 == 0:
+                    addr = DATA_BASE + (b_idx % panel_lines) * LINE
+                    b.emit(
+                        asm.load(
+                            b.pc, dst=_B_REGS[b_idx % len(_B_REGS)],
+                            addr=addr, addr_srcs=(1,), size=64,
+                        )
+                    )
+                if step % 3 == 0:
+                    b.emit(asm.alu(b.pc, dst=2, srcs=(1,)))
+            b_idx += 1
+        # Loop overhead: pointer bump + predictable branch.
+        b.emit(asm.alu(b.pc, dst=1, srcs=(1,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def conv_trace(
+    config: DeepBenchKernel,
+    phase: str,
+    instructions: int = 24_000,
+    seed: int = 1,
+    *,
+    vector_lanes: int = 16,
+    sync_interval: int = 4000,
+    sync_cycles: int = 150,
+) -> Program:
+    """Convolution kernel trace for one training phase.
+
+    * ``fwd`` — forward: im2col-style integer SIMD shuffles and address
+      arithmetic around memory-operand FMAs (low VFP fraction).
+    * ``bwd_d`` — backward data: scattered input gradients (more D-cache
+      misses, fewer FMAs).
+    * ``bwd_f`` — backward filter: reductions into few accumulators
+      (longer FMA dependence chains).
+    """
+    if phase not in ("fwd", "bwd_d", "bwd_f"):
+        raise ValueError("conv phase must be fwd, bwd_d or bwd_f")
+    b = TraceBuilder(f"conv-{phase}-{config.name}", seed)
+    edge_lanes = _mask_lanes(config, vector_lanes)
+    # Forward convolutions are blocked into a near-L1-resident tile (IPC
+    # stays near ideal, Fig. 5); the backward phases touch wider footprints.
+    footprint_lines = 640 if phase == "fwd" else 4096
+    idx = 0
+    since_sync = 0
+    iteration = 0
+    n_acc = 12 if phase == "fwd" else (8 if phase == "bwd_d" else 2)
+    loop_pc = b.pc
+    reshuffle_pc = b.pc + 0x400
+    while len(b) < instructions:
+        iteration += 1
+        if iteration % 3 == 0:
+            # im2col-style reshuffle burst: no VFP work at all -- these
+            # stretches produce the FLOPS `frontend` component (Fig. 4/5).
+            b.at(reshuffle_pc)
+            for _ in range(3):
+                addr = DATA_BASE + 0x300000 + (idx % 64) * LINE
+                b.emit(asm.load(b.pc, dst=4, addr=addr, addr_srcs=(2,)))
+                b.emit(
+                    asm.vec_int(b.pc, dst=53, srcs=(53,),
+                                lanes=vector_lanes,
+                                width_lanes=vector_lanes)
+                )
+                b.emit(asm.alu(b.pc, dst=2, srcs=(4,)))
+            b.emit(
+                asm.branch(b.pc, taken=True, target=loop_pc, srcs=(2,))
+            )
+            since_sync += 10
+        b.at(loop_pc)
+        # Address arithmetic for the window walk.
+        b.emit(asm.alu(b.pc, dst=2, srcs=(1,)))
+        b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+        # Data reshuffle on the vector unit (non-VFP vector work).
+        b.emit(
+            asm.vec_int(b.pc, dst=52, srcs=(52,), lanes=vector_lanes,
+                        width_lanes=vector_lanes)
+        )
+        if phase == "fwd":
+            stride = 2
+            fma_count = 4
+        elif phase == "bwd_d":
+            stride = 37  # scattered gradient accesses
+            fma_count = 3
+        else:
+            stride = 5
+            fma_count = 5
+        for step in range(fma_count):
+            acc = _ACC_REGS[step % n_acc]
+            lanes = (
+                edge_lanes if (idx + step) % 6 == 5 else vector_lanes
+            )
+            addr = DATA_BASE + (idx % footprint_lines) * LINE
+            idx += stride
+            b.emit(
+                asm.fma(
+                    b.pc, dst=acc,
+                    srcs=(acc, _B_REGS[step % len(_B_REGS)]),
+                    lanes=lanes, width_lanes=vector_lanes,
+                    mem_addr=addr, addr_srcs=(2,),
+                )
+            )
+        # Pointer updates and loop control.
+        b.emit(asm.alu(b.pc, dst=1, srcs=(3,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+        since_sync += fma_count + 5
+        if since_sync >= sync_interval:
+            since_sync = 0
+            b.emit(asm.sync_yield(b.pc, sync_cycles))
+    return b.program()

@@ -1,0 +1,115 @@
+"""Workload registry: names -> trace factories for the harness and CLI."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Program
+from repro.workloads import spec_like
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.deepbench import (
+    DEEPBENCH_CONFIGS,
+    conv_trace,
+    sgemm_trace,
+)
+
+#: SPEC-CPU-2017-like workloads used for multi-stage CPI stack evaluation.
+_SPEC_SPECS = (
+    WorkloadSpec(
+        "mcf", "505.mcf", "pointer chase: Dcache + bpred bound",
+        spec_like.mcf_like, default_instructions=40_000,
+    ),
+    WorkloadSpec(
+        "cactus", "507.cactuBSSN", "I$+D$ footprints couple in unified L2",
+        spec_like.cactus_like, default_instructions=80_000,
+    ),
+    WorkloadSpec(
+        "bwaves", "503.bwaves", "prefetch streams contend for L2 MSHRs",
+        spec_like.bwaves_like,
+    ),
+    WorkloadSpec(
+        "povray", "511.povray", "microcoded FP + moderate mispredicts",
+        spec_like.povray_like,
+    ),
+    WorkloadSpec(
+        "imagick", "538.imagick", "multi-cycle arithmetic dependence chains",
+        spec_like.imagick_like,
+    ),
+    WorkloadSpec(
+        "leela", "541.leela", "branch misprediction bound",
+        spec_like.leela_like,
+    ),
+    WorkloadSpec(
+        "lbm", "519.lbm", "streaming bandwidth bound",
+        spec_like.lbm_like,
+    ),
+    WorkloadSpec(
+        "exchange2", "548.exchange2", "high-ILP integer, near-ideal CPI",
+        spec_like.exchange2_like,
+    ),
+    WorkloadSpec(
+        "nab", "544.nab", "scalar FP latency + L2-resident data",
+        spec_like.nab_like,
+    ),
+    WorkloadSpec(
+        "xz", "557.xz", "mixed: no single dominant bottleneck",
+        spec_like.xz_like,
+    ),
+    WorkloadSpec(
+        "deepsjeng", "531.deepsjeng", "bpred + scattered hash-table loads",
+        spec_like.deepsjeng_like,
+    ),
+)
+
+#: Public registry of all named workloads.
+WORKLOADS: dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPEC_SPECS}
+
+#: The SPEC-like suite (used by the Fig. 2 population).
+SPEC_LIKE_NAMES: tuple[str, ...] = tuple(spec.name for spec in _SPEC_SPECS)
+
+
+def _register_deepbench() -> None:
+    for config in DEEPBENCH_CONFIGS:
+        if config.kind == "sgemm":
+            for style in ("knl", "skx"):
+                name = f"{config.name}-{style}"
+                WORKLOADS[name] = WorkloadSpec(
+                    name,
+                    f"DeepBench {config.name} ({style.upper()} code style)",
+                    "sgemm kernel for FLOPS stacks",
+                    # Bind loop variables via defaults.
+                    lambda n, s, c=config, st=style: sgemm_trace(
+                        c, st, n, s
+                    ),
+                    default_instructions=20_000,
+                )
+        else:
+            for phase in ("fwd", "bwd_d", "bwd_f"):
+                name = f"{config.name}-{phase}"
+                WORKLOADS[name] = WorkloadSpec(
+                    name,
+                    f"DeepBench {config.name} {phase}",
+                    "convolution kernel for FLOPS stacks",
+                    lambda n, s, c=config, ph=phase: conv_trace(
+                        c, ph, n, s
+                    ),
+                    default_instructions=20_000,
+                )
+
+
+_register_deepbench()
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec by registry name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def make_trace(
+    name: str, instructions: int | None = None, seed: int = 1
+) -> Program:
+    """Build the named workload's trace."""
+    return get_workload(name).make(instructions, seed)

@@ -1,0 +1,459 @@
+"""SPEC CPU 2017-like synthetic workloads.
+
+Each generator reproduces the bottleneck structure of the paper's named
+benchmark cases (Table I, Fig. 2, Fig. 3); the remaining generators widen
+the suite so the Fig. 2 error distributions are computed over a meaningful
+population, standing in for the paper's 36 benchmark/input combinations.
+"""
+
+from __future__ import annotations
+
+from repro.isa import decoder as asm
+from repro.isa.instructions import Program
+from repro.workloads.base import (
+    DATA_BASE,
+    TraceBuilder,
+    permutation_chain,
+)
+
+#: Cache-line size assumed by the generators when spacing addresses.
+LINE = 64
+
+
+def mcf_like(instructions: int, seed: int = 1) -> Program:
+    """Pointer chasing with data-dependent branches (models 505.mcf).
+
+    Serialized dependent loads chase pointers through a 64 KB working set
+    (L2-resident in steady state) with sparse lookups into a cold 4 MB
+    region, producing the dominant D-cache component; a data-dependent
+    branch with ~25% flip rate produces the branch component; a serial
+    multiply accumulator hides under the misses.  Both Table I examples
+    (hidden ALU stalls on KNL, overlapping bpred/Dcache penalties on BDW)
+    come from this trace.
+    """
+    b = TraceBuilder("mcf", seed)
+    entries = 1024  # 64 KB chase footprint: misses L1D, lives in the L2
+    chase = permutation_chain(b.rng, entries)
+    aux_base = DATA_BASE + 0x0400_0000
+    cold_base = DATA_BASE + 0x0800_0000
+    cold_lines = 65_536  # 4 MB cold region touched sparsely
+    cur = 0
+    iteration = 0
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        iteration += 1
+        node_addr = DATA_BASE + cur * LINE
+        # r1 holds the pointer; the load's address depends on it.
+        b.emit(asm.load(b.pc, dst=2, addr=node_addr, addr_srcs=(1,)))
+        # Next pointer comes from the loaded node: serializes the chase.
+        b.emit(asm.alu(b.pc, dst=1, srcs=(2,)))
+        # Serial cost accumulator: a multi-cycle multiply chain running in
+        # parallel with the chase.  Its latency hides under the D-cache
+        # misses and only surfaces once the D-cache is made perfect — the
+        # Table I hidden-ALU effect on KNL.
+        b.emit(asm.mul(b.pc, dst=10, srcs=(10, 2)))
+        b.emit(asm.mul(b.pc, dst=10, srcs=(10,)))
+        b.emit(asm.mul(b.pc, dst=10, srcs=(10,)))
+        b.emit(asm.alu(b.pc, dst=4, srcs=(2,)))
+        if iteration % 8 == 0:
+            # Sparse arc-cost lookup in a cold 4 MB region (independent of
+            # the chase: overlappable memory-level parallelism).
+            cold_addr = cold_base + b.rng.randrange(cold_lines) * LINE
+            b.emit(asm.load(b.pc, dst=5, addr=cold_addr, addr_srcs=(3,)))
+        else:
+            # A small L1-resident auxiliary lookup.
+            aux_addr = aux_base + (b.rng.randrange(256)) * 8
+            b.emit(asm.load(b.pc, dst=5, addr=aux_addr, addr_srcs=(2,)))
+        b.emit(asm.alu(b.pc, dst=6, srcs=(4, 5)))
+        # Data-dependent branch over the node value: ~25% taken.
+        taken = b.rng.random() < 0.25
+        skip_target = b.pc + 3 * 4 + 4
+        b.emit(asm.branch(b.pc, taken=taken, target=skip_target, srcs=(6,)))
+        if not taken:
+            b.emit(asm.alu(b.pc, dst=7, srcs=(6,)))
+            b.emit(asm.store(b.pc, src=7, addr=node_addr, addr_srcs=(1,)))
+            b.emit(asm.alu(b.pc, dst=8, srcs=(7,)))
+        else:
+            b.at(skip_target)
+        # Loop-back branch: highly predictable.
+        b.emit(
+            asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,))
+        )
+        cur = chase[cur]
+    return b.program()
+
+
+def cactus_like(instructions: int, seed: int = 1) -> Program:
+    """Large code + data footprints contending in the unified L2 (models
+    507.cactuBSSN, Fig. 3b).
+
+    192 KB of code (short per-block inner loops give realistic I-cache
+    reuse) dominates the 256 KB L2 while ~96 KB of read/write data churns
+    through it, so data fills evict code lines: making the D-cache perfect
+    leaves the L2 to the code and shrinks the *icache* component — the
+    paper's second-order I$/D$ coupling, in the direction Sec. V-A
+    describes ("the Icache component reduces when the L1 Dcache is made
+    perfect").
+    """
+    b = TraceBuilder("cactus", seed)
+    n_blocks = 384  # x 512 B of code per block = 192 KB footprint
+    block_instrs = 17
+    repeats = 3  # short inner loop per block: realistic I$ reuse
+    # Data regions small enough to keep the D-cache component moderate but
+    # large enough to evict code from the L2 (the Fig. 3b coupling).
+    data_lines = 1024   # 64 KB read region
+    write_lines = 512   # 32 KB write region
+    write_base = DATA_BASE + 0x0200_0000
+    read_idx = 0
+    write_idx = 0
+    while len(b) < instructions:
+        for block in range(n_blocks):
+            if len(b) >= instructions:
+                break
+            block_pc = 0x0040_0000 + block * 512
+            for rep in range(repeats):
+                b.at(block_pc)
+                for slot in range(block_instrs):
+                    phase = slot % 8
+                    if phase == 0:
+                        addr = DATA_BASE + (read_idx % data_lines) * LINE
+                        b.emit(
+                            asm.load(b.pc, dst=2 + slot % 4, addr=addr,
+                                     addr_srcs=(1,))
+                        )
+                        read_idx += 7  # strided: defeats stream detection
+                    elif phase == 1:
+                        b.emit(asm.fp_mul(b.pc, dst=34, srcs=(32, 33)))
+                    elif phase == 3:
+                        b.emit(asm.fp_add(b.pc, dst=35, srcs=(34, 32)))
+                    elif phase == 5:
+                        addr = write_base + (write_idx % write_lines) * LINE
+                        b.emit(
+                            asm.store(b.pc, src=6, addr=addr,
+                                      addr_srcs=(1,))
+                        )
+                        write_idx += 7
+                    elif phase == 6:
+                        b.emit(asm.alu(b.pc, dst=6, srcs=(2, 3)))
+                    else:
+                        b.emit(asm.alu(b.pc, dst=1, srcs=(6,)))
+                # Inner loop-back branch: taken (repeats-1) times, then
+                # falls through -- a learnable periodic pattern.
+                b.emit(
+                    asm.branch(
+                        b.pc,
+                        taken=rep < repeats - 1,
+                        target=block_pc,
+                        srcs=(1,),
+                    )
+                )
+            # Predictable block-to-block branch.
+            next_pc = 0x0040_0000 + ((block + 1) % n_blocks) * 512
+            b.emit(asm.branch(b.pc, taken=True, target=next_pc, srcs=(1,)))
+    return b.program()
+
+
+def bwaves_like(instructions: int, seed: int = 1) -> Program:
+    """Prefetch-heavy streaming FP with a trickle of I-cache misses
+    (models 503.bwaves, Fig. 3c).
+
+    Sequential loads over a large array keep the stream prefetcher issuing
+    into the L2 and its MSHRs saturated; a 56 KB code footprint adds
+    steady L1I misses that then *queue* behind the prefetches, and
+    periodic gather bursts push demand misses into the same MSHRs.  A
+    perfect L1I removes the misses but not the queueing (gain ~0); a
+    perfect L1D silences the prefetcher entirely (most of the CPI comes
+    back).
+    """
+    b = TraceBuilder("bwaves", seed)
+    n_blocks = 112  # x 512 B = 56 KB of code, well above the 32 KB L1I
+    block_instrs = 20
+    repeats = 2  # one reuse per sweep: steady L1I miss rate
+    stream_idx = 0
+    while len(b) < instructions:
+        for block in range(n_blocks):
+            if len(b) >= instructions:
+                break
+            block_pc = 0x0040_0000 + block * 512
+            # Every 8th block is a gather burst that briefly outruns the
+            # prefetcher, pushing demand misses into the contended L2 MSHRs.
+            burst = block % 8 == 0
+            for rep in range(repeats):
+                b.at(block_pc)
+                for slot in range(block_instrs):
+                    phase = slot % 10
+                    is_load = phase == 0 or (burst and phase in (4, 6))
+                    if is_load:
+                        addr = DATA_BASE + stream_idx * LINE
+                        b.emit(
+                            asm.load(b.pc, dst=2 + phase % 4, addr=addr,
+                                     addr_srcs=(1,))
+                        )
+                        stream_idx += 1
+                    elif phase == 1:
+                        b.emit(
+                            asm.fp_mul(
+                                b.pc, dst=36, srcs=(32, 33),
+                                lanes=4, width_lanes=4,
+                            )
+                        )
+                    elif phase == 3:
+                        b.emit(
+                            asm.fp_add(
+                                b.pc, dst=37, srcs=(36, 34),
+                                lanes=4, width_lanes=4,
+                            )
+                        )
+                    else:
+                        b.emit(asm.alu(b.pc, dst=1, srcs=(1,)))
+                b.emit(
+                    asm.branch(
+                        b.pc,
+                        taken=rep < repeats - 1,
+                        target=block_pc,
+                        srcs=(1,),
+                    )
+                )
+            next_pc = 0x0040_0000 + ((block + 1) % n_blocks) * 512
+            b.emit(asm.branch(b.pc, taken=True, target=next_pc, srcs=(1,)))
+    return b.program()
+
+
+def povray_like(instructions: int, seed: int = 1) -> Program:
+    """Microcoded scalar FP with moderate branch misprediction (models
+    511.povray on KNL, Fig. 3d).
+
+    Microcoded multi-micro-op FP instructions stall the 2-wide KNL decoder
+    (the `Microcode` component); a semi-random shading branch produces the
+    bpred component; 6-cycle KNL FP latencies produce the ALU component.
+    """
+    b = TraceBuilder("povray", seed)
+    aux = DATA_BASE
+    iteration = 0
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        iteration += 1
+        if iteration % 3 == 0:
+            # Ray-object intersection: microcoded transcendental-style op
+            # (the KNL microcode-sequencer stall of Fig. 3d).
+            b.emit(
+                asm.microcoded_fp(b.pc, dst=40, srcs=(32, 34), n_uops=4)
+            )
+        else:
+            b.at(b.pc + 8)  # skip the microcoded slot this iteration
+        b.emit(asm.fp_mul(b.pc, dst=41, srcs=(40, 34)))
+        # Serial lighting accumulator: multi-cycle FP latency binds here
+        # (the ALU component the 1-cycle-ALU idealization recovers).
+        b.emit(asm.fp_mul(b.pc, dst=33, srcs=(33, 41)))
+        b.emit(asm.fp_add(b.pc, dst=33, srcs=(33, 35)))
+        # L1-resident scene data.
+        addr = aux + b.rng.randrange(128) * 8
+        b.emit(asm.load(b.pc, dst=3, addr=addr, addr_srcs=(1,)))
+        b.emit(asm.alu(b.pc, dst=4, srcs=(3,)))
+        # Shading decision: ~20% unpredictable.
+        taken = b.rng.random() < 0.2
+        skip = b.pc + 2 * 4 + 4
+        b.emit(asm.branch(b.pc, taken=taken, target=skip, srcs=(4,)))
+        if not taken:
+            b.emit(asm.alu(b.pc, dst=5, srcs=(4,)))
+            b.emit(asm.alu(b.pc, dst=6, srcs=(5,)))
+        else:
+            b.at(skip)
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def imagick_like(instructions: int, seed: int = 1) -> Program:
+    """Serialized multi-cycle arithmetic chains (models 538.imagick on
+    KNL, Fig. 3e).
+
+    Dependence chains alternate a multi-cycle multiply with single-cycle
+    consumers.  The dispatch/commit stacks blame `depend` (the ROB head is
+    usually a 1-cycle consumer waiting on its operand); the issue stack's
+    producer lookup correctly blames the executing multiply (`alu`), and a
+    1-cycle-ALU idealization recovers roughly that component.
+    """
+    b = TraceBuilder("imagick", seed)
+    aux = DATA_BASE
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        for chain in range(2):
+            acc = 10 + chain
+            b.emit(asm.mul(b.pc, dst=acc, srcs=(acc,)))
+            b.emit(asm.alu(b.pc, dst=16 + chain, srcs=(acc,)))
+            b.emit(asm.alu(b.pc, dst=18 + chain, srcs=(16 + chain,)))
+            b.emit(asm.alu(b.pc, dst=acc, srcs=(18 + chain,)))
+        addr = aux + b.rng.randrange(64) * 8
+        b.emit(asm.load(b.pc, dst=3, addr=addr, addr_srcs=(1,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def leela_like(instructions: int, seed: int = 1) -> Program:
+    """Branch-misprediction-bound integer code (models 541.leela).
+
+    A tree-search-style control pattern: several hard-to-predict branches
+    per iteration over L1-resident data.
+    """
+    b = TraceBuilder("leela", seed)
+    aux = DATA_BASE
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        addr = aux + b.rng.randrange(512) * 8
+        b.emit(asm.load(b.pc, dst=2, addr=addr, addr_srcs=(1,)))
+        b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+        taken_a = b.rng.random() < 0.45
+        skip_a = b.pc + 2 * 4 + 4
+        b.emit(asm.branch(b.pc, taken=taken_a, target=skip_a, srcs=(3,)))
+        if not taken_a:
+            b.emit(asm.alu(b.pc, dst=4, srcs=(3,)))
+            b.emit(asm.alu(b.pc, dst=5, srcs=(4,)))
+        else:
+            b.at(skip_a)
+        taken_b = b.rng.random() < 0.3
+        skip_b = b.pc + 4 + 4
+        b.emit(asm.branch(b.pc, taken=taken_b, target=skip_b, srcs=(2,)))
+        if not taken_b:
+            b.emit(asm.alu(b.pc, dst=6, srcs=(3,)))
+        else:
+            b.at(skip_b)
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def lbm_like(instructions: int, seed: int = 1) -> Program:
+    """Bandwidth-bound streaming with stores (models 519.lbm).
+
+    Independent streaming loads and stores over a huge footprint: the
+    D-cache component dominates and prefetching/bandwidth effects decide
+    the CPI.
+    """
+    b = TraceBuilder("lbm", seed)
+    loop_pc = b.pc
+    read_idx = 0
+    write_idx = 1 << 16
+    while len(b) < instructions:
+        b.at(loop_pc)
+        for lane in range(3):
+            addr = DATA_BASE + (read_idx + lane) * LINE
+            b.emit(
+                asm.load(b.pc, dst=2 + lane, addr=addr, addr_srcs=(1,))
+            )
+        read_idx += 3
+        b.emit(asm.fp_mul(b.pc, dst=36, srcs=(32, 33), lanes=4,
+                          width_lanes=4))
+        b.emit(asm.fp_add(b.pc, dst=37, srcs=(36, 34), lanes=4,
+                          width_lanes=4))
+        addr = DATA_BASE + write_idx * LINE
+        b.emit(asm.store(b.pc, src=4, addr=addr, addr_srcs=(1,)))
+        write_idx += 1
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def exchange2_like(instructions: int, seed: int = 1) -> Program:
+    """High-ILP integer compute, cache-resident (models 548.exchange2).
+
+    Near-ideal CPI: wide independent ALU work, predictable branches, tiny
+    footprints.  A 'zero' case that anchors the Fig. 2 filter.
+    """
+    b = TraceBuilder("exchange2", seed)
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        for lane in range(8):
+            b.emit(asm.alu(b.pc, dst=2 + lane, srcs=(2 + lane,)))
+        b.emit(asm.mul(b.pc, dst=12, srcs=(2,)))
+        b.emit(asm.alu(b.pc, dst=13, srcs=(3, 4)))
+        addr = DATA_BASE + b.rng.randrange(64) * 8
+        b.emit(asm.load(b.pc, dst=14, addr=addr, addr_srcs=(1,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def nab_like(instructions: int, seed: int = 1) -> Program:
+    """Scalar FP molecular-dynamics-style compute (models 544.nab).
+
+    Moderate-ILP floating point with an L2-resident working set: ALU
+    latency and mild D-cache components.
+    """
+    b = TraceBuilder("nab", seed)
+    data_lines = 1536  # 96 KB working set: L2-resident, misses L1D
+    idx = 0
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        addr = DATA_BASE + (idx % data_lines) * LINE
+        idx += 11
+        b.emit(asm.load(b.pc, dst=2, addr=addr, addr_srcs=(1,)))
+        b.emit(asm.fp_mul(b.pc, dst=40, srcs=(32, 33)))
+        b.emit(asm.fp_mul(b.pc, dst=41, srcs=(40, 34)))
+        b.emit(asm.fp_add(b.pc, dst=42, srcs=(41, 35)))
+        b.emit(asm.fp_add(b.pc, dst=32, srcs=(42, 36)))
+        b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def xz_like(instructions: int, seed: int = 1) -> Program:
+    """Mixed compression-style behaviour (models 557.xz).
+
+    A bit of everything: pointer-ish loads, data-dependent branches,
+    multi-cycle integer ops and a medium working set — a 'no single
+    bottleneck' population member for Fig. 2.
+    """
+    b = TraceBuilder("xz", seed)
+    data_lines = 4096  # 256 KB
+    idx = 0
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        addr = DATA_BASE + (idx % data_lines) * LINE
+        idx += b.rng.randrange(1, 17)
+        b.emit(asm.load(b.pc, dst=2, addr=addr, addr_srcs=(1,)))
+        b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+        b.emit(asm.mul(b.pc, dst=4, srcs=(3,)))
+        taken = b.rng.random() < 0.15
+        skip = b.pc + 2 * 4 + 4
+        b.emit(asm.branch(b.pc, taken=taken, target=skip, srcs=(3,)))
+        if not taken:
+            b.emit(asm.alu(b.pc, dst=5, srcs=(4,)))
+            b.emit(asm.store(b.pc, src=5, addr=addr, addr_srcs=(1,)))
+        else:
+            b.at(skip)
+        b.emit(asm.alu(b.pc, dst=6, srcs=(4,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()
+
+
+def deepsjeng_like(instructions: int, seed: int = 1) -> Program:
+    """Branchy search with hash-table lookups (models 531.deepsjeng).
+
+    Combines an unpredictable branch with scattered loads into a ~1 MB
+    hash table: bpred and D-cache components of similar size, exercising
+    the overlap cases of Fig. 2.
+    """
+    b = TraceBuilder("deepsjeng", seed)
+    table_lines = 4096  # 256 KB hash table: L2/L3 resident once warm
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        slot = b.rng.randrange(table_lines)
+        addr = DATA_BASE + slot * LINE
+        b.emit(asm.load(b.pc, dst=2, addr=addr, addr_srcs=(1,)))
+        b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+        taken = b.rng.random() < 0.35
+        skip = b.pc + 3 * 4 + 4
+        b.emit(asm.branch(b.pc, taken=taken, target=skip, srcs=(3,)))
+        if not taken:
+            b.emit(asm.alu(b.pc, dst=4, srcs=(3,)))
+            b.emit(asm.alu(b.pc, dst=5, srcs=(4,)))
+            b.emit(asm.alu(b.pc, dst=6, srcs=(5,)))
+        else:
+            b.at(skip)
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    return b.program()

@@ -1,0 +1,96 @@
+"""Shared fixtures and trace-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.presets import broadwell, knights_landing, tiny_core
+from repro.isa import decoder as asm
+from repro.isa.instructions import Program
+from repro.workloads.base import DATA_BASE, TraceBuilder
+
+
+@pytest.fixture
+def tiny():
+    """A small core configuration that exposes stalls with short traces."""
+    return tiny_core()
+
+
+@pytest.fixture
+def bdw():
+    return broadwell()
+
+
+@pytest.fixture
+def knl():
+    return knights_landing()
+
+
+def straightline_alu(n: int, *, ilp: int = 8) -> Program:
+    """n independent-chain ALU instructions (ilp parallel chains).
+
+    The pc wraps inside one I-cache line so the instruction stream itself
+    never misses (these helpers isolate backend behaviour).
+    """
+    b = TraceBuilder("straightline", seed=1)
+    base = b.pc
+    for i in range(n):
+        reg = 2 + i % ilp
+        b.at(base + (i % 8) * 4)
+        b.emit(asm.alu(b.pc, dst=reg, srcs=(reg,)))
+    return b.program()
+
+
+def serial_chain(n: int, kind: str = "alu") -> Program:
+    """n instructions forming one serial dependence chain."""
+    b = TraceBuilder("chain", seed=1)
+    builders = {"alu": asm.alu, "mul": asm.mul, "div": asm.div}
+    build = builders[kind]
+    base = b.pc
+    for i in range(n):
+        b.at(base + (i % 8) * 4)
+        b.emit(build(b.pc, dst=2, srcs=(2,)))
+    return b.program()
+
+
+def load_loop(
+    n: int,
+    *,
+    lines: int = 4,
+    dependent: bool = False,
+    stride_lines: int = 1,
+) -> Program:
+    """n loads walking ``lines`` cache lines (optionally chained)."""
+    b = TraceBuilder("loads", seed=1)
+    base = b.pc
+    for i in range(n):
+        addr = DATA_BASE + (i * stride_lines % lines) * 64
+        srcs = (2,) if dependent else (1,)
+        b.at(base + (i % 8) * 4)
+        b.emit(asm.load(b.pc, dst=2, addr=addr, addr_srcs=srcs))
+    return b.program()
+
+
+def branch_loop(
+    n: int,
+    *,
+    pattern: str = "taken",
+    body: int = 3,
+) -> Program:
+    """n loop iterations ending in a branch with the given direction
+    pattern ('taken', 'alternate', 'never')."""
+    b = TraceBuilder("branches", seed=1)
+    loop_pc = b.pc
+    for i in range(n):
+        b.at(loop_pc)
+        for j in range(body):
+            reg = 2 + j
+            b.emit(asm.alu(b.pc, dst=reg, srcs=(reg,)))
+        if pattern == "taken":
+            taken = True
+        elif pattern == "never":
+            taken = False
+        else:
+            taken = i % 2 == 0
+        b.emit(asm.branch(b.pc, taken=taken, target=loop_pc, srcs=(2,)))
+    return b.program()

@@ -1,0 +1,132 @@
+"""Unit tests for the branch prediction substrate."""
+
+import pytest
+
+from repro.branch.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GsharePredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+
+
+def _train(predictor, pc, outcomes, target=0x2000):
+    """Run a direction sequence through predict/update; return accuracy."""
+    correct = 0
+    for taken in outcomes:
+        prediction = predictor.predict(pc)
+        if prediction.correct_for(taken, target):
+            correct += 1
+        predictor.update(pc, taken, target)
+    return correct / len(outcomes)
+
+
+def test_btb_learns_targets():
+    btb = BranchTargetBuffer(64)
+    assert btb.lookup(0x100) is None
+    btb.update(0x100, 0x500)
+    assert btb.lookup(0x100) == 0x500
+
+
+def test_btb_tag_mismatch_misses():
+    btb = BranchTargetBuffer(4)
+    btb.update(0x100, 0x500)
+    # Fill many other branches so 0x100's slot can be stolen; a stolen slot
+    # must return None, never a wrong target for the stored pc.
+    for pc in range(0x1000, 0x3000, 0x40):
+        btb.update(pc, pc + 64)
+    looked = btb.lookup(0x100)
+    assert looked in (None, 0x500)
+
+
+def test_btb_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(100)
+
+
+def test_always_taken_never_learns():
+    predictor = AlwaysTakenPredictor()
+    accuracy = _train(predictor, 0x100, [False] * 50)
+    assert accuracy == 0.0
+
+
+def test_bimodal_learns_bias():
+    predictor = BimodalPredictor(bits=10)
+    accuracy = _train(predictor, 0x100, [True] * 100)
+    assert accuracy > 0.95
+
+
+def test_bimodal_hysteresis_tolerates_rare_flips():
+    predictor = BimodalPredictor(bits=10)
+    # Mostly taken with a single not-taken blip: 2-bit counters should not
+    # flip the prediction after one contrary outcome.
+    outcomes = [True] * 20 + [False] + [True] * 20
+    accuracy = _train(predictor, 0x100, outcomes)
+    assert accuracy > 0.9
+
+
+def test_gshare_learns_alternating_pattern():
+    predictor = GsharePredictor(bits=12)
+    outcomes = [i % 2 == 0 for i in range(400)]
+    # Skip warmup: measure the tail.
+    _train(predictor, 0x100, outcomes[:100])
+    accuracy = _train(predictor, 0x100, outcomes[100:])
+    assert accuracy > 0.95
+
+
+def test_gshare_learns_periodic_pattern():
+    predictor = GsharePredictor(bits=12)
+    outcomes = ([True, True, False] * 100)
+    _train(predictor, 0x100, outcomes)
+    accuracy = _train(predictor, 0x100, outcomes)
+    assert accuracy > 0.9
+
+
+def test_tournament_beats_components_on_mixed_workload():
+    """The chooser should route biased branches to bimodal and patterned
+    branches to gshare, doing at least as well as the worst component."""
+    tournament = TournamentPredictor(bits=12)
+    accuracy = _train(tournament, 0x100, [True] * 200)
+    assert accuracy > 0.95
+
+
+def test_aligned_branch_pcs_do_not_alias():
+    """Block-aligned code (branches every 512 B) must spread across the
+    tables — the multiplicative pc hash regression test."""
+    predictor = BimodalPredictor(bits=12)
+    pcs = [0x400000 + i * 512 for i in range(128)]
+    # Train every branch strongly not-taken.
+    for _ in range(4):
+        for pc in pcs:
+            predictor.update(pc, False, 0)
+    wrong = sum(1 for pc in pcs if predictor.predict(pc).taken)
+    assert wrong < len(pcs) // 8
+
+
+def test_mispredict_bookkeeping():
+    predictor = GsharePredictor()
+    predictor.record(True)
+    predictor.record(False)
+    assert predictor.lookups == 2
+    assert predictor.mispredicts == 1
+    assert predictor.mispredict_rate == pytest.approx(0.5)
+
+
+def test_make_predictor_registry():
+    for name in ("perfect", "always-taken", "bimodal", "gshare",
+                 "tournament"):
+        assert make_predictor(name) is not None
+    with pytest.raises(KeyError):
+        make_predictor("tage")
+
+
+def test_prediction_correct_for_requires_target_on_taken():
+    predictor = GsharePredictor(bits=8)
+    predictor.update(0x100, True, 0x900)
+    predictor.update(0x100, True, 0x900)
+    prediction = predictor.predict(0x100)
+    if prediction.taken:
+        assert prediction.correct_for(True, 0x900)
+        assert not prediction.correct_for(True, 0x800)

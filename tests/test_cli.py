@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    for argv in (
+        ["run", "--workload", "mcf"],
+        ["workloads"],
+        ["presets"],
+        ["table1"],
+        ["fig3", "--case", "fig3a"],
+        ["fig5"],
+        ["overhead"],
+    ):
+        args = parser.parse_args(argv)
+        assert callable(args.func)
+
+
+def test_parser_rejects_unknown_workload():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--workload", "nonexistent"])
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "cactus" in out
+
+
+def test_presets_command(capsys):
+    assert main(["presets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("bdw", "knl", "skx"):
+        assert name in out
+
+
+def test_run_command_prints_stacks(capsys):
+    code = main(["run", "--workload", "exchange2", "--core", "tiny",
+                 "--instructions", "2000", "--flops"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dispatch" in out and "issue" in out and "commit" in out
+    assert "CPI=" in out
+
+
+def test_run_command_modes(capsys):
+    code = main(["run", "--workload", "leela", "--core", "tiny",
+                 "--instructions", "2000", "--mode", "simple"])
+    assert code == 0
+    assert "bpred" in capsys.readouterr().out
+
+
+def test_overhead_command(capsys):
+    code = main(["overhead", "--workload", "exchange2", "--core", "tiny",
+                 "--instructions", "1500"])
+    assert code == 0
+    assert "overhead" in capsys.readouterr().out
+
+
+def test_socket_command(capsys):
+    code = main(["socket", "--workload", "exchange2", "--core", "tiny",
+                 "--threads", "2", "--instructions", "1500"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "socket" in out and "homogeneity" in out

@@ -1,0 +1,99 @@
+"""Tests for machine configurations and idealizations."""
+
+import pytest
+
+from repro.config.cores import CoreConfig
+from repro.config.idealize import (
+    IDEALIZATIONS,
+    PERFECT_BPRED,
+    PERFECT_DCACHE,
+    PERFECT_ICACHE,
+    SINGLE_CYCLE_ALU,
+    idealize,
+)
+from repro.config.presets import PRESETS, get_preset
+from repro.core.components import Component
+from repro.isa.uops import UopClass
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_presets_construct(name):
+    config = get_preset(name)
+    assert config.memory is not None
+    assert config.accounting_width == min(
+        config.dispatch_width, config.issue_width, config.commit_width
+    )
+
+
+def test_get_preset_unknown():
+    with pytest.raises(KeyError):
+        get_preset("alder-lake")
+
+
+def test_bdw_knl_widths_match_paper():
+    """Sec. IV: BDW is 4-wide, KNL is 2-wide out-of-order."""
+    assert get_preset("bdw").dispatch_width == 4
+    assert get_preset("knl").dispatch_width == 2
+    assert get_preset("skx").dispatch_width == 4
+
+
+def test_avx512_machines_have_16_lanes():
+    assert get_preset("knl").vector_lanes == 16
+    assert get_preset("skx").vector_lanes == 16
+    assert get_preset("bdw").vector_lanes == 8  # AVX2
+
+
+def test_peak_flops_formula():
+    config = get_preset("skx")
+    assert config.peak_flops_per_cycle == 2 * 2 * 16  # 2*k*v
+    assert config.socket_peak_gflops == pytest.approx(
+        64 * config.frequency_ghz * 26
+    )
+
+
+def test_latency_of_single_cycle_alu_idealization():
+    config = idealize(get_preset("knl"), SINGLE_CYCLE_ALU)
+    for uclass in (UopClass.MUL, UopClass.DIV, UopClass.FP_MUL,
+                   UopClass.FMA):
+        assert config.latency_of(uclass) == 1
+    # Memory and branches keep their semantics.
+    assert config.latency_of(UopClass.STORE) == 1
+    baseline = get_preset("knl")
+    assert baseline.latency_of(UopClass.FP_MUL) > 1
+
+
+def test_idealization_apply_sets_flag_and_renames():
+    config = PERFECT_DCACHE.apply(get_preset("bdw"))
+    assert config.perfect_dcache
+    assert "perfect-dcache" in config.name
+    assert not config.perfect_icache
+
+
+def test_idealization_composition():
+    combined = PERFECT_BPRED | PERFECT_DCACHE
+    config = combined.apply(get_preset("bdw"))
+    assert config.perfect_bpred and config.perfect_dcache
+    assert set(combined.targets) == {Component.BPRED, Component.DCACHE}
+
+
+def test_idealizations_registry_targets():
+    for component, ideal in IDEALIZATIONS.items():
+        assert component in ideal.targets
+
+
+def test_idealize_does_not_mutate_original():
+    baseline = get_preset("bdw")
+    idealize(baseline, PERFECT_ICACHE)
+    assert not baseline.perfect_icache
+
+
+def test_core_config_validation():
+    with pytest.raises(ValueError):
+        CoreConfig(name="bad", dispatch_width=0)
+    with pytest.raises(ValueError):
+        CoreConfig(name="bad", rob_size=1, dispatch_width=4)
+
+
+def test_knl_has_no_l3():
+    assert get_preset("knl").memory.l3 is None
+    assert get_preset("bdw").memory.l3 is not None

@@ -1,0 +1,285 @@
+"""Unit tests for the Table II stage accountants.
+
+These drive the accountants with hand-built :class:`CycleObservation`
+sequences — the accountants are pure per-cycle algorithms, independent of
+the pipeline, exactly as in the paper's Table II pseudocode.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.blame import classify_blamed_uop, frontend_component
+from repro.core.commit import CommitAccountant
+from repro.core.components import Component
+from repro.core.dispatch import DispatchAccountant
+from repro.core.issue import IssueAccountant
+from repro.core.observation import CycleObservation
+from repro.core.wrongpath import WrongPathMode
+
+
+class FakeUop:
+    """Minimal BlamableUop implementation."""
+
+    def __init__(self, *, is_load=False, dcache_miss=False, issued=True,
+                 done=False, multi_cycle=False, block_id=0):
+        self.is_load = is_load
+        self.dcache_miss = dcache_miss
+        self.issued = issued
+        self.done = done
+        self.multi_cycle = multi_cycle
+        self.block_id = block_id
+
+
+MISSING_LOAD = dict(is_load=True, dcache_miss=True, issued=True)
+EXECUTING_DIV = dict(multi_cycle=True, issued=True)
+WAITING_ALU = dict(issued=False)
+
+
+# --- blame classification (Table II lines 10-16) ---------------------------
+
+def test_blame_missing_load_is_dcache():
+    assert classify_blamed_uop(FakeUop(**MISSING_LOAD)) is Component.DCACHE
+
+
+def test_blame_l1_hitting_load_in_flight_is_alu():
+    uop = FakeUop(is_load=True, dcache_miss=False, issued=True)
+    assert classify_blamed_uop(uop) is Component.ALU_LAT
+
+
+def test_blame_unissued_load_is_depend():
+    uop = FakeUop(is_load=True, issued=False)
+    assert classify_blamed_uop(uop) is Component.DEPEND
+
+
+def test_blame_multicycle_executing_is_alu():
+    assert classify_blamed_uop(FakeUop(**EXECUTING_DIV)) is Component.ALU_LAT
+
+
+def test_blame_waiting_single_cycle_is_depend():
+    assert classify_blamed_uop(FakeUop(**WAITING_ALU)) is Component.DEPEND
+
+
+def test_frontend_component_passthrough_and_fallback():
+    assert frontend_component(Component.ICACHE) is Component.ICACHE
+    assert frontend_component(Component.BPRED) is Component.BPRED
+    assert frontend_component(Component.MICROCODE) is Component.MICROCODE
+    assert frontend_component(Component.UNSCHED) is Component.UNSCHED
+    assert frontend_component(None) is Component.OTHER
+    assert frontend_component(Component.DCACHE) is Component.OTHER
+
+
+# --- dispatch accountant -----------------------------------------------------
+
+def test_dispatch_full_width_is_all_base():
+    acct = DispatchAccountant(width=4)
+    for _ in range(10):
+        acct.observe(CycleObservation(n_dispatch=4))
+    stack = acct.finalize(10, 40)
+    assert stack.get(Component.BASE) == pytest.approx(10.0)
+    assert stack.total() == pytest.approx(10.0)
+
+
+def test_dispatch_fe_empty_icache():
+    acct = DispatchAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_dispatch=0, uop_queue_empty=True, fe_reason=Component.ICACHE))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.ICACHE) == pytest.approx(1.0)
+
+
+def test_dispatch_partial_cycle_splits_base_and_stall():
+    acct = DispatchAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_dispatch=1, uop_queue_empty=True, fe_reason=Component.BPRED))
+    stack = acct.finalize(1, 1)
+    assert stack.get(Component.BASE) == pytest.approx(0.25)
+    assert stack.get(Component.BPRED) == pytest.approx(0.75)
+
+
+def test_dispatch_window_full_blames_rob_head():
+    acct = DispatchAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_dispatch=0, window_full=True, rob_head=FakeUop(**MISSING_LOAD)))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.DCACHE) == pytest.approx(1.0)
+
+
+def test_dispatch_window_full_with_done_head_is_other():
+    acct = DispatchAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_dispatch=0, window_full=True,
+        rob_head=FakeUop(done=True, issued=True)))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.OTHER) == pytest.approx(1.0)
+
+
+def test_dispatch_wrong_path_cycles_are_bpred_in_exact_mode():
+    acct = DispatchAccountant(width=4, mode=WrongPathMode.EXACT)
+    acct.observe(CycleObservation(
+        n_dispatch=0, n_dispatch_wrong=4, wrong_path_active=True))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.BPRED) == pytest.approx(1.0)
+
+
+def test_dispatch_simple_mode_counts_wrong_path_as_base():
+    acct = DispatchAccountant(width=4, mode=WrongPathMode.SIMPLE)
+    acct.observe(CycleObservation(
+        n_dispatch=0, n_dispatch_wrong=4, wrong_path_active=True))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.BASE) == pytest.approx(1.0)
+
+
+def test_dispatch_unscheduled_cycle():
+    acct = DispatchAccountant(width=4)
+    acct.observe(CycleObservation(unscheduled=True))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.UNSCHED) == pytest.approx(1.0)
+
+
+def test_dispatch_fe_priority_over_window():
+    """Table II checks FE-empty before the window (lines 4 then 9)."""
+    acct = DispatchAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_dispatch=0, uop_queue_empty=True, fe_reason=Component.ICACHE,
+        window_full=True, rob_head=FakeUop(**MISSING_LOAD)))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.ICACHE) == pytest.approx(1.0)
+    assert stack.get(Component.DCACHE) == 0.0
+
+
+# --- issue accountant --------------------------------------------------------
+
+def test_issue_producer_lookup_blames_executing_producer():
+    acct = IssueAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_issue=0, first_nonready_producer=FakeUop(**EXECUTING_DIV)))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.ALU_LAT) == pytest.approx(1.0)
+
+
+def test_issue_producer_load_blames_dcache():
+    acct = IssueAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_issue=0, first_nonready_producer=FakeUop(**MISSING_LOAD)))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.DCACHE) == pytest.approx(1.0)
+
+
+def test_issue_structural_stall_is_other():
+    """Only the issue stage can see structural stalls (Sec. V-A)."""
+    acct = IssueAccountant(width=4)
+    acct.observe(CycleObservation(n_issue=1, structural_stall=True))
+    stack = acct.finalize(1, 1)
+    assert stack.get(Component.OTHER) == pytest.approx(0.75)
+
+
+def test_issue_rs_empty_takes_frontend_reason():
+    acct = IssueAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_issue=0, rs_empty=True, fe_reason=Component.MICROCODE))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.MICROCODE) == pytest.approx(1.0)
+
+
+def test_issue_rs_empty_window_full_blames_head():
+    acct = IssueAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_issue=0, rs_empty=True, window_full=True,
+        rob_head=FakeUop(**MISSING_LOAD)))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.DCACHE) == pytest.approx(1.0)
+
+
+def test_issue_wider_stage_carries_excess():
+    """Issue width > W: f > 1 transfers to the next cycle (Sec. III-A)."""
+    acct = IssueAccountant(width=4)
+    acct.observe(CycleObservation(n_issue=8))
+    acct.observe(CycleObservation(
+        n_issue=0, first_nonready_producer=FakeUop(**EXECUTING_DIV)))
+    stack = acct.finalize(2, 8)
+    assert stack.get(Component.BASE) == pytest.approx(2.0)
+    assert stack.get(Component.ALU_LAT) == 0.0
+
+
+# --- commit accountant -------------------------------------------------------
+
+def test_commit_rob_empty_frontend_blame():
+    acct = CommitAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_commit=0, rob_empty=True, fe_reason=Component.ICACHE))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.ICACHE) == pytest.approx(1.0)
+
+
+def test_commit_rob_empty_during_wrong_path_is_bpred():
+    acct = CommitAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_commit=0, rob_empty=True, wrong_path_active=True))
+    stack = acct.finalize(1, 0)
+    assert stack.get(Component.BPRED) == pytest.approx(1.0)
+
+
+def test_commit_head_not_done_blames_head():
+    acct = CommitAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_commit=1, rob_head=FakeUop(**WAITING_ALU)))
+    stack = acct.finalize(1, 1)
+    assert stack.get(Component.DEPEND) == pytest.approx(0.75)
+
+
+def test_commit_done_head_width_limited_is_other():
+    acct = CommitAccountant(width=4)
+    acct.observe(CycleObservation(
+        n_commit=2, rob_head=FakeUop(done=True)))
+    stack = acct.finalize(1, 2)
+    assert stack.get(Component.OTHER) == pytest.approx(0.5)
+
+
+# --- the invariant, under arbitrary observation streams ---------------------
+
+_components = st.sampled_from([None, Component.ICACHE, Component.BPRED,
+                               Component.MICROCODE])
+_heads = st.sampled_from([None,
+                          FakeUop(**MISSING_LOAD),
+                          FakeUop(**EXECUTING_DIV),
+                          FakeUop(**WAITING_ALU)])
+
+
+@st.composite
+def observations(draw):
+    return CycleObservation(
+        unscheduled=draw(st.booleans()),
+        wrong_path_active=draw(st.booleans()),
+        fe_reason=draw(_components),
+        n_dispatch=draw(st.integers(0, 4)),
+        n_dispatch_wrong=draw(st.integers(0, 4)),
+        uop_queue_empty=draw(st.booleans()),
+        window_full=draw(st.booleans()),
+        n_issue=draw(st.integers(0, 8)),
+        n_issue_wrong=draw(st.integers(0, 8)),
+        rs_empty=draw(st.booleans()),
+        structural_stall=draw(st.booleans()),
+        first_nonready_producer=draw(_heads),
+        n_commit=draw(st.integers(0, 4)),
+        rob_empty=draw(st.booleans()),
+        rob_head=draw(_heads),
+    )
+
+
+@given(st.lists(observations(), min_size=1, max_size=100))
+def test_every_accountant_sums_to_cycle_count(obs_list):
+    """Each accountant adds exactly 1.0 per cycle, whatever it observes:
+    the width carry only moves base cycles between adjacent cycles, never
+    creates or destroys them."""
+    for make in (
+        lambda: DispatchAccountant(4),
+        lambda: IssueAccountant(4),
+        lambda: CommitAccountant(4),
+        lambda: DispatchAccountant(4, WrongPathMode.SIMPLE),
+        lambda: DispatchAccountant(4, WrongPathMode.SPECULATIVE),
+    ):
+        acct = make()
+        for obs in obs_list:
+            acct.observe(obs)
+        stack = acct.finalize(len(obs_list), 1)
+        assert stack.total() == pytest.approx(len(obs_list))

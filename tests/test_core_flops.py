@@ -1,0 +1,168 @@
+"""Unit tests for the Table III FLOPS accountant."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.components import FlopsComponent
+from repro.core.flops import FlopsAccountant
+from repro.core.observation import CycleObservation
+
+
+class FakeProducer:
+    def __init__(self, is_load):
+        self.is_load = is_load
+
+
+def make_acct(k=2, v=16):
+    return FlopsAccountant(vector_units=k, vector_lanes=v)
+
+
+def full_fma_cycle(k=2, v=16):
+    """k unmasked FMAs: peak FLOPS."""
+    return CycleObservation(
+        flops_issued=2 * k * v, n_vfp_issued=k,
+        non_fma_loss_lanes=0, masked_lanes=0,
+    )
+
+
+def test_peak_cycle_is_all_base():
+    acct = make_acct()
+    acct.observe(full_fma_cycle())
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.BASE) == pytest.approx(1.0)
+    assert stack.total() == pytest.approx(1.0)
+
+
+def test_non_fma_loss():
+    """A vector add does 1 op/lane where an FMA would do 2 (Table III
+    line 5)."""
+    acct = make_acct(k=2, v=16)
+    acct.observe(CycleObservation(
+        flops_issued=2 * 16,           # two FP_ADDs, full width
+        n_vfp_issued=2,
+        non_fma_loss_lanes=2 * 16,     # (2-1) * 16 per uop
+        masked_lanes=0,
+    ))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.BASE) == pytest.approx(0.5)
+    assert stack.get(FlopsComponent.NON_FMA) == pytest.approx(0.5)
+    assert stack.total() == pytest.approx(1.0)
+
+
+def test_masking_loss():
+    """Masked-out lanes lose 2 potential ops each (Table III line 7)."""
+    acct = make_acct(k=2, v=16)
+    acct.observe(CycleObservation(
+        flops_issued=2 * (2 * 8),      # two FMAs, half masked
+        n_vfp_issued=2,
+        non_fma_loss_lanes=0,
+        masked_lanes=2 * 8,
+    ))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.BASE) == pytest.approx(0.5)
+    assert stack.get(FlopsComponent.MASK) == pytest.approx(0.5)
+    assert stack.total() == pytest.approx(1.0)
+
+
+def test_empty_slots_frontend_when_no_vfp_available():
+    acct = make_acct()
+    acct.observe(CycleObservation(n_vfp_issued=0, vfp_in_rs=False))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.FRONTEND) == pytest.approx(1.0)
+
+
+def test_empty_slots_non_vfp_when_vu_occupied():
+    acct = make_acct()
+    acct.observe(CycleObservation(
+        n_vfp_issued=0, vfp_in_rs=True, vu_used_by_non_vfp=True))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.NON_VFP) == pytest.approx(1.0)
+
+
+def test_empty_slots_mem_when_waiting_on_load():
+    acct = make_acct()
+    acct.observe(CycleObservation(
+        n_vfp_issued=0, vfp_in_rs=True,
+        oldest_vfp_producer=FakeProducer(is_load=True)))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.MEM) == pytest.approx(1.0)
+
+
+def test_empty_slots_depend_when_waiting_on_non_load():
+    acct = make_acct()
+    acct.observe(CycleObservation(
+        n_vfp_issued=0, vfp_in_rs=True,
+        oldest_vfp_producer=FakeProducer(is_load=False)))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.DEPEND) == pytest.approx(1.0)
+
+
+def test_empty_slots_structural_is_other():
+    acct = make_acct()
+    acct.observe(CycleObservation(
+        n_vfp_issued=0, vfp_in_rs=True, vfp_structural=True))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.OTHER) == pytest.approx(1.0)
+
+
+def test_unscheduled_cycle():
+    acct = make_acct()
+    acct.observe(CycleObservation(unscheduled=True))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.UNSCHED) == pytest.approx(1.0)
+
+
+def test_partial_vfp_issue_mixes_base_and_cause():
+    """One FMA of two possible slots: half base, half cause."""
+    acct = make_acct(k=2, v=16)
+    acct.observe(CycleObservation(
+        flops_issued=2 * 16, n_vfp_issued=1,
+        vfp_in_rs=True, oldest_vfp_producer=FakeProducer(is_load=True)))
+    stack = acct.finalize(1)
+    assert stack.get(FlopsComponent.BASE) == pytest.approx(0.5)
+    assert stack.get(FlopsComponent.MEM) == pytest.approx(0.5)
+
+
+def test_flops_tally():
+    acct = make_acct()
+    acct.observe(full_fma_cycle())
+    acct.observe(full_fma_cycle())
+    stack = acct.finalize(2)
+    assert stack.flops == pytest.approx(2 * 64)
+
+
+def test_rejects_degenerate_configuration():
+    with pytest.raises(ValueError):
+        FlopsAccountant(vector_units=0, vector_lanes=16)
+
+
+@st.composite
+def flops_observations(draw, k=2, v=16):
+    n_vfp = draw(st.integers(0, k))
+    per_uop = []
+    for _ in range(n_vfp):
+        ops = draw(st.sampled_from([1, 2]))
+        lanes = draw(st.integers(0, v))
+        per_uop.append((ops, lanes))
+    return CycleObservation(
+        unscheduled=draw(st.booleans()) if n_vfp == 0 else False,
+        flops_issued=sum(o * l for o, l in per_uop),
+        n_vfp_issued=n_vfp,
+        non_fma_loss_lanes=sum((2 - o) * l for o, l in per_uop),
+        masked_lanes=sum(v - l for _, l in per_uop),
+        vfp_in_rs=draw(st.booleans()),
+        vu_used_by_non_vfp=draw(st.booleans()),
+        oldest_vfp_producer=draw(st.sampled_from(
+            [None, FakeProducer(True), FakeProducer(False)])),
+        vfp_structural=draw(st.booleans()),
+    )
+
+
+@given(st.lists(flops_observations(), min_size=1, max_size=100))
+def test_flops_stack_sums_to_cycles(obs_list):
+    """Table III decomposes every cycle exactly into components."""
+    acct = make_acct()
+    for obs in obs_list:
+        acct.observe(obs)
+    stack = acct.finalize(len(obs_list))
+    assert stack.total() == pytest.approx(len(obs_list))

@@ -1,0 +1,102 @@
+"""Unit tests for the multi-stage collector and bounds analysis."""
+
+import pytest
+
+from repro.core.components import Component
+from repro.core.multistage import MultiStageCollector, Stage
+from repro.core.observation import CycleObservation
+from repro.core.wrongpath import WrongPathMode
+
+
+def collect(observations, width=4, **kwargs):
+    collector = MultiStageCollector(width, **kwargs)
+    for obs in observations:
+        collector.observe(obs)
+    return collector.finalize(len(observations), 100, name="test")
+
+
+def test_report_has_all_stages():
+    report = collect([CycleObservation(n_dispatch=4, n_issue=4, n_commit=4)])
+    assert report.stack(Stage.DISPATCH) is report.dispatch
+    assert report.stack(Stage.ISSUE) is report.issue
+    assert report.stack(Stage.COMMIT) is report.commit
+    assert set(report.stacks) == {Stage.DISPATCH, Stage.ISSUE, Stage.COMMIT}
+
+
+def test_flops_accountant_optional():
+    report = collect([CycleObservation()])
+    assert report.flops is None
+    report = collect([CycleObservation()], vector_units=2, vector_lanes=16)
+    assert report.flops is not None
+
+
+def test_component_bounds_span_stages():
+    obs = [
+        # dispatch blames icache; commit sees dcache via the head.
+        CycleObservation(
+            n_dispatch=0, uop_queue_empty=True, fe_reason=Component.ICACHE,
+            n_issue=0, rs_empty=True,
+            n_commit=4,
+        ),
+        CycleObservation(n_dispatch=4, n_issue=4, n_commit=0, rob_empty=True,
+                         fe_reason=Component.ICACHE),
+    ]
+    report = collect(obs)
+    low, high = report.component_bounds(Component.ICACHE)
+    assert low <= high
+    # dispatch saw 1 icache cycle, commit saw 1: both 1/100 CPI here.
+    assert high == pytest.approx(0.01)
+
+
+def test_covers_and_bound_error():
+    obs = [CycleObservation(
+        n_dispatch=0, uop_queue_empty=True, fe_reason=Component.ICACHE,
+        n_issue=0, rs_empty=True, n_commit=4)]
+    report = collect(obs)
+    low, high = report.component_bounds(Component.ICACHE)
+    mid = (low + high) / 2
+    assert report.covers(Component.ICACHE, mid)
+    assert report.bound_error(Component.ICACHE, mid) == 0.0
+    assert report.bound_error(Component.ICACHE, high + 0.5) == pytest.approx(
+        -0.5
+    )
+    assert report.bound_error(Component.ICACHE, low - 0.25) == pytest.approx(
+        0.25
+    )
+
+
+def test_stage_error_is_signed():
+    obs = [CycleObservation(
+        n_dispatch=0, uop_queue_empty=True, fe_reason=Component.BPRED,
+        n_issue=4, n_commit=4)]
+    report = collect(obs)
+    predicted = report.dispatch.component_cpi(Component.BPRED)
+    assert report.stage_error(Stage.DISPATCH, Component.BPRED, 0.0) == (
+        pytest.approx(predicted)
+    )
+
+
+def test_simple_mode_applies_base_correction_on_finalize():
+    # Dispatch processes wrong-path work; commit does not.
+    obs = [CycleObservation(n_dispatch=2, n_dispatch_wrong=2,
+                            n_issue=2, n_issue_wrong=2, n_commit=2,
+                            rob_head=None)]
+    report = collect(obs, mode=WrongPathMode.SIMPLE)
+    # Dispatch base must equal commit base after correction; the surplus
+    # went to bpred.
+    assert report.dispatch.get(Component.BASE) == pytest.approx(
+        report.commit.get(Component.BASE))
+    assert report.dispatch.get(Component.BPRED) == pytest.approx(0.5)
+
+
+def test_all_stacks_share_cycles_and_instructions():
+    report = collect([CycleObservation(n_dispatch=4, n_issue=4, n_commit=4)])
+    for stage in Stage:
+        stack = report.stack(stage)
+        assert stack.cycles == 1
+        assert stack.instructions == 100
+
+
+def test_cpi_comes_from_commit_stack():
+    report = collect([CycleObservation(n_commit=4)] * 10)
+    assert report.cpi() == report.commit.cpi()

@@ -1,0 +1,124 @@
+"""Unit tests for the stack containers."""
+
+import pytest
+
+from repro.core.components import Component, FlopsComponent
+from repro.core.stack import (
+    CpiStack,
+    FlopsStack,
+    average_stacks,
+    normalized_difference,
+    sum_flops_stacks,
+)
+
+
+def make_stack(base=500.0, dcache=300.0, bpred=200.0, instrs=2000):
+    stack = CpiStack(stage="dispatch", cycles=base + dcache + bpred,
+                     instructions=instrs)
+    stack.add(Component.BASE, base)
+    stack.add(Component.DCACHE, dcache)
+    stack.add(Component.BPRED, bpred)
+    return stack
+
+
+def test_components_sum_to_cpi():
+    stack = make_stack()
+    assert sum(stack.cpi_components().values()) == pytest.approx(stack.cpi())
+
+
+def test_cpi_and_ipc_are_reciprocal():
+    stack = make_stack()
+    assert stack.cpi() * stack.ipc() == pytest.approx(1.0)
+
+
+def test_component_cpi():
+    stack = make_stack(dcache=300.0, instrs=2000)
+    assert stack.component_cpi(Component.DCACHE) == pytest.approx(0.15)
+
+
+def test_missing_component_is_zero():
+    stack = make_stack()
+    assert stack.get(Component.MICROCODE) == 0.0
+    assert stack.component_cpi(Component.MICROCODE) == 0.0
+
+
+def test_normalized_sums_to_one():
+    stack = make_stack()
+    assert sum(stack.normalized().values()) == pytest.approx(1.0)
+
+
+def test_ipc_stack_height_is_max_ipc():
+    stack = make_stack()
+    ipc_components = stack.ipc_components(max_ipc=4.0)
+    assert sum(ipc_components.values()) == pytest.approx(4.0)
+    # base counter 500 of 1000 cycles at max IPC 4 -> 2.0, which equals the
+    # achieved IPC (2000 instructions / 1000 cycles): "the base component
+    # is now the obtained IPC" (Sec. V-B).
+    assert ipc_components[Component.BASE] == pytest.approx(stack.ipc())
+
+
+def test_copy_is_independent():
+    stack = make_stack()
+    clone = stack.copy()
+    clone.add(Component.BASE, 100.0)
+    assert stack.get(Component.BASE) == 500.0
+
+
+def test_average_stacks_component_per_component():
+    """Paper Sec. IV: 'We aggregate the CPI stacks by averaging them
+    component per component.'"""
+    a = make_stack(base=400.0, dcache=400.0, bpred=200.0)
+    b = make_stack(base=600.0, dcache=200.0, bpred=200.0)
+    avg = average_stacks([a, b])
+    assert avg.get(Component.BASE) == pytest.approx(500.0)
+    assert avg.get(Component.DCACHE) == pytest.approx(300.0)
+    assert avg.total() == pytest.approx(1000.0)
+
+
+def test_average_requires_stacks():
+    with pytest.raises(ValueError):
+        average_stacks([])
+
+
+def make_flops_stack(base=0.4, mem=0.35, frontend=0.25, cycles=1000.0):
+    stack = FlopsStack(cycles=cycles, peak_per_cycle=64.0)
+    stack.add(FlopsComponent.BASE, base * cycles)
+    stack.add(FlopsComponent.MEM, mem * cycles)
+    stack.add(FlopsComponent.FRONTEND, frontend * cycles)
+    stack.flops = base * cycles * 64.0
+    return stack
+
+
+def test_flops_equation_1():
+    """FLOPS = base/cycles * freq * M (Equation 1)."""
+    stack = make_flops_stack(base=0.5)
+    # 0.5 * 1 GHz * 64 = 32 GFLOPS per core.
+    assert stack.gflops(1.0) == pytest.approx(32.0)
+    # Socket view scales linearly with cores.
+    assert stack.gflops(1.0, cores=10) == pytest.approx(320.0)
+
+
+def test_flops_rate_stack_height_is_peak():
+    stack = make_flops_stack()
+    rates = stack.rate_components(2.0, cores=4)
+    assert sum(rates.values()) == pytest.approx(2.0 * 64.0 * 4)
+
+
+def test_flops_achieved_fraction():
+    stack = make_flops_stack(base=0.4)
+    assert stack.achieved_fraction() == pytest.approx(0.4)
+
+
+def test_sum_flops_stacks_preserves_fractions():
+    a = make_flops_stack(base=0.4)
+    b = make_flops_stack(base=0.6, mem=0.15)
+    total = sum_flops_stacks([a, b])
+    assert total.achieved_fraction() == pytest.approx(0.5)
+
+
+def test_normalized_difference_sums_to_zero_for_full_partitions():
+    a = {FlopsComponent.BASE: 0.6, FlopsComponent.MEM: 0.4}
+    b = {FlopsComponent.BASE: 0.3, FlopsComponent.MEM: 0.7}
+    diff = normalized_difference(a, b, list(a))
+    assert sum(diff.values()) == pytest.approx(0.0)
+    assert diff[FlopsComponent.BASE] == pytest.approx(0.3)

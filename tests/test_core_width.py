@@ -1,0 +1,72 @@
+"""Unit tests for width normalization (Sec. III-A carry scheme)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.width import WidthNormalizer
+
+
+def test_simple_fraction():
+    norm = WidthNormalizer(4)
+    assert norm.fraction(2) == pytest.approx(0.5)
+
+
+def test_full_width_is_one():
+    norm = WidthNormalizer(4)
+    assert norm.fraction(4) == 1.0
+    assert norm.carry == 0.0
+
+
+def test_overwide_cycle_carries_excess():
+    """A wider stage processing more than W transfers the excess."""
+    norm = WidthNormalizer(4)
+    assert norm.fraction(6) == 1.0
+    assert norm.carry == pytest.approx(0.5)
+    # The carried half-cycle tops up the next, emptier cycle.
+    assert norm.fraction(2) == pytest.approx(1.0)
+    assert norm.carry == 0.0
+
+
+def test_carry_accumulates_across_cycles():
+    norm = WidthNormalizer(2)
+    assert norm.fraction(4) == 1.0   # carry 1.0
+    assert norm.fraction(4) == 1.0   # carry 2.0
+    assert norm.fraction(0) == 1.0   # carry 1.0
+    assert norm.fraction(0) == 1.0   # carry 0.0
+    assert norm.fraction(0) == 0.0
+
+
+def test_zero_width_rejected():
+    with pytest.raises(ValueError):
+        WidthNormalizer(0)
+
+
+def test_negative_count_rejected():
+    norm = WidthNormalizer(4)
+    with pytest.raises(ValueError):
+        norm.fraction(-1)
+
+
+def test_reset():
+    norm = WidthNormalizer(2)
+    norm.fraction(6)
+    norm.reset()
+    assert norm.carry == 0.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=8), min_size=1,
+                max_size=200))
+def test_total_work_is_conserved(counts):
+    """Sum of emitted fractions + final carry == total n / W exactly."""
+    norm = WidthNormalizer(4)
+    total_f = sum(norm.fraction(n) for n in counts)
+    assert total_f + norm.carry == pytest.approx(sum(counts) / 4)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=16), min_size=1,
+                max_size=200))
+def test_fraction_always_in_unit_interval(counts):
+    norm = WidthNormalizer(4)
+    for n in counts:
+        f = norm.fraction(n)
+        assert 0.0 <= f <= 1.0

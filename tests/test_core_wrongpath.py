@@ -1,0 +1,111 @@
+"""Unit tests for the wrong-path discernment strategies (Sec. III-B)."""
+
+import pytest
+
+from repro.core.components import Component
+from repro.core.stack import CpiStack
+from repro.core.wrongpath import (
+    SimpleWrongPathCorrector,
+    SpeculativeCounterFile,
+)
+
+
+def make_stack(base, bpred=0.0, stage="dispatch"):
+    stack = CpiStack(stage=stage, cycles=base + bpred, instructions=100)
+    stack.add(Component.BASE, base)
+    if bpred:
+        stack.add(Component.BPRED, bpred)
+    return stack
+
+
+def test_simple_correction_moves_surplus_base_to_bpred():
+    """Yasin-style: 'bad speculation slots are issue slots minus retire
+    slots'."""
+    dispatch = make_stack(base=80.0, bpred=20.0)
+    commit = make_stack(base=60.0, stage="commit")
+    corrected = SimpleWrongPathCorrector.apply(dispatch, commit)
+    assert corrected.get(Component.BASE) == pytest.approx(60.0)
+    assert corrected.get(Component.BPRED) == pytest.approx(40.0)
+    assert corrected.total() == pytest.approx(dispatch.total())
+
+
+def test_simple_correction_noop_without_surplus():
+    dispatch = make_stack(base=60.0, bpred=20.0)
+    commit = make_stack(base=60.0, stage="commit")
+    corrected = SimpleWrongPathCorrector.apply(dispatch, commit)
+    assert corrected.get(Component.BASE) == pytest.approx(60.0)
+    assert corrected.get(Component.BPRED) == pytest.approx(20.0)
+
+
+def test_simple_correction_does_not_mutate_input():
+    dispatch = make_stack(base=80.0)
+    commit = make_stack(base=60.0, stage="commit")
+    SimpleWrongPathCorrector.apply(dispatch, commit)
+    assert dispatch.get(Component.BASE) == 80.0
+
+
+def test_speculative_commit_merges_components():
+    spec = SpeculativeCounterFile()
+    stack = CpiStack(stage="dispatch")
+    spec.add(1, Component.BASE, 3.0)
+    spec.add(1, Component.DCACHE, 2.0)
+    spec.add(2, Component.BASE, 1.0)
+    spec.commit_up_to(1, stack)
+    assert stack.get(Component.BASE) == pytest.approx(3.0)
+    assert stack.get(Component.DCACHE) == pytest.approx(2.0)
+    assert spec.outstanding_blocks == 1  # block 2 still pending
+
+
+def test_speculative_squash_drains_to_bpred():
+    """Squashed blocks' cycles all become branch-misprediction cycles,
+    whatever they were tentatively attributed to."""
+    spec = SpeculativeCounterFile()
+    stack = CpiStack(stage="dispatch")
+    spec.add(5, Component.BASE, 2.0)
+    spec.add(5, Component.DCACHE, 3.0)
+    spec.add(6, Component.DEPEND, 1.0)
+    spec.squash_from(4, stack)
+    assert stack.get(Component.BPRED) == pytest.approx(6.0)
+    assert spec.outstanding_blocks == 0
+
+
+def test_speculative_squash_spares_older_blocks():
+    spec = SpeculativeCounterFile()
+    stack = CpiStack(stage="dispatch")
+    spec.add(3, Component.BASE, 2.0)
+    spec.add(7, Component.BASE, 4.0)
+    spec.squash_from(5, stack)
+    assert stack.get(Component.BPRED) == pytest.approx(4.0)
+    spec.commit_up_to(3, stack)
+    assert stack.get(Component.BASE) == pytest.approx(2.0)
+
+
+def test_speculative_flush_all():
+    spec = SpeculativeCounterFile()
+    stack = CpiStack(stage="dispatch")
+    spec.add(1, Component.BASE, 1.0)
+    spec.add(2, Component.ICACHE, 2.0)
+    spec.flush_all(stack)
+    assert stack.total() == pytest.approx(3.0)
+    assert spec.outstanding_blocks == 0
+
+
+def test_speculative_zero_amounts_ignored():
+    spec = SpeculativeCounterFile()
+    spec.add(1, Component.BASE, 0.0)
+    assert spec.outstanding_blocks == 0
+
+
+def test_total_cycles_conserved_through_squash_and_commit():
+    """No cycle is lost or duplicated by the speculative machinery."""
+    spec = SpeculativeCounterFile()
+    stack = CpiStack(stage="dispatch")
+    total = 0.0
+    for block in range(10):
+        spec.add(block, Component.BASE, 1.5)
+        spec.add(block, Component.DCACHE, 0.5)
+        total += 2.0
+    spec.commit_up_to(4, stack)
+    spec.squash_from(7, stack)
+    spec.flush_all(stack)
+    assert stack.total() == pytest.approx(total)

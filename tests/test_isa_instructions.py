@@ -1,0 +1,92 @@
+"""Unit tests for macro instructions and programs."""
+
+import pytest
+
+from repro.isa import decoder as asm
+from repro.isa.instructions import Instruction, Program, concat_programs
+from repro.isa.uops import MicroOp, UopClass
+
+
+def test_fallthrough_and_next_pc():
+    instr = asm.alu(0x1000, dst=2, length=4)
+    assert instr.fallthrough == 0x1004
+    assert instr.next_pc == 0x1004
+
+
+def test_taken_branch_next_pc_is_target():
+    br = asm.branch(0x1000, taken=True, target=0x2000)
+    assert br.next_pc == 0x2000
+
+
+def test_not_taken_branch_next_pc_is_fallthrough():
+    br = asm.branch(0x1000, taken=False, target=0x2000)
+    assert br.next_pc == 0x1004
+
+
+def test_branch_requires_branch_uop():
+    with pytest.raises(ValueError):
+        Instruction(
+            pc=0, length=4, uops=(MicroOp(UopClass.ALU),),
+            is_branch=True, taken=True, target=16,
+        )
+
+
+def test_instruction_requires_positive_length():
+    with pytest.raises(ValueError):
+        Instruction(pc=0, length=0, uops=(MicroOp(UopClass.NOP),))
+
+
+def test_instruction_requires_uops_or_yield():
+    with pytest.raises(ValueError):
+        Instruction(pc=0, length=4, uops=())
+
+
+def test_program_counts():
+    prog = Program("p")
+    prog.extend([
+        asm.load(0, dst=2, addr=64),
+        asm.store(4, src=2, addr=128),
+        asm.branch(8, taken=True, target=0),
+        asm.fma(12, dst=40, srcs=(40,), lanes=4, width_lanes=4),
+    ])
+    assert len(prog) == 4
+    assert prog.load_count == 1
+    assert prog.store_count == 1
+    assert prog.branch_count == 1
+    assert prog.flop_count == 8  # 4 lanes x 2 ops
+    assert prog.vfp_uop_count == 1
+
+
+def test_program_uop_count_includes_split_uops():
+    prog = Program("p")
+    prog.extend([asm.fma(0, dst=40, srcs=(40,), lanes=4, width_lanes=4,
+                         mem_addr=64)])
+    assert len(prog) == 1
+    assert prog.uop_count == 2  # load + fma
+
+
+def test_program_summary_fractions():
+    prog = Program("p")
+    prog.extend([asm.alu(0, dst=2),
+                 asm.fma(4, dst=40, srcs=(40,), lanes=4, width_lanes=4)])
+    summary = prog.summary()
+    assert summary["instructions"] == 2
+    assert summary["vfp_uop_fraction"] == pytest.approx(0.5)
+
+
+def test_concat_programs():
+    a = Program("a")
+    a.extend([asm.alu(0, dst=2)])
+    b = Program("b")
+    b.extend([asm.alu(4, dst=3), asm.alu(8, dst=4)])
+    merged = concat_programs("ab", [a, b])
+    assert len(merged) == 3
+    assert merged.name == "ab"
+
+
+def test_program_indexing_and_iteration():
+    prog = Program("p")
+    instrs = [asm.alu(i * 4, dst=2) for i in range(5)]
+    prog.extend(instrs)
+    assert prog[0] is instrs[0]
+    assert list(prog) == instrs

@@ -1,0 +1,51 @@
+"""Unit tests for the architectural register namespace."""
+
+import pytest
+
+from repro.isa.registers import (
+    FIRST_VEC_REG,
+    NO_REG,
+    NUM_INT_REGS,
+    NUM_VEC_REGS,
+    TOTAL_REGS,
+    int_reg,
+    is_vec_reg,
+    vec_reg,
+)
+
+
+def test_total_is_sum_of_files():
+    assert TOTAL_REGS == NUM_INT_REGS + NUM_VEC_REGS
+
+
+def test_int_reg_identity():
+    assert int_reg(0) == 0
+    assert int_reg(NUM_INT_REGS - 1) == NUM_INT_REGS - 1
+
+
+def test_vec_reg_offset():
+    assert vec_reg(0) == FIRST_VEC_REG
+    assert vec_reg(NUM_VEC_REGS - 1) == TOTAL_REGS - 1
+
+
+def test_int_reg_bounds():
+    with pytest.raises(ValueError):
+        int_reg(NUM_INT_REGS)
+    with pytest.raises(ValueError):
+        int_reg(-1)
+
+
+def test_vec_reg_bounds():
+    with pytest.raises(ValueError):
+        vec_reg(NUM_VEC_REGS)
+    with pytest.raises(ValueError):
+        vec_reg(-1)
+
+
+def test_is_vec_reg_partition():
+    assert not is_vec_reg(int_reg(5))
+    assert is_vec_reg(vec_reg(5))
+
+
+def test_no_reg_sentinel_is_not_a_register():
+    assert NO_REG < 0

@@ -1,0 +1,83 @@
+"""Unit tests for the micro-op model."""
+
+import pytest
+
+from repro.isa.uops import (
+    MEMORY_CLASSES,
+    VFP_CLASSES,
+    VU_CLASSES,
+    MicroOp,
+    UopClass,
+    WrongPathTemplate,
+)
+
+
+def test_vfp_subset_of_vu():
+    assert VFP_CLASSES < VU_CLASSES
+
+
+def test_vec_int_and_broadcast_are_vu_but_not_vfp():
+    assert UopClass.VEC_INT in VU_CLASSES
+    assert UopClass.BROADCAST in VU_CLASSES
+    assert UopClass.VEC_INT not in VFP_CLASSES
+    assert UopClass.BROADCAST not in VFP_CLASSES
+
+
+def test_fma_counts_two_flops_per_lane():
+    uop = MicroOp(UopClass.FMA, lanes=16, width_lanes=16)
+    assert uop.flops == 32
+    assert uop.ops_per_lane == 2
+
+
+def test_fp_add_counts_one_flop_per_lane():
+    uop = MicroOp(UopClass.FP_ADD, lanes=8, width_lanes=8)
+    assert uop.flops == 8
+    assert uop.ops_per_lane == 1
+
+
+def test_masked_lanes_reduce_flops():
+    uop = MicroOp(UopClass.FMA, lanes=5, width_lanes=16)
+    assert uop.flops == 10
+
+
+def test_non_fp_has_zero_flops():
+    for uclass in (UopClass.ALU, UopClass.LOAD, UopClass.VEC_INT):
+        kwargs = {"addr": 64} if uclass is UopClass.LOAD else {}
+        assert MicroOp(uclass, **kwargs).flops == 0
+
+
+def test_memory_uops_require_address():
+    with pytest.raises(ValueError):
+        MicroOp(UopClass.LOAD)
+    with pytest.raises(ValueError):
+        MicroOp(UopClass.STORE)
+
+
+def test_lanes_bounded_by_width():
+    with pytest.raises(ValueError):
+        MicroOp(UopClass.FMA, lanes=17, width_lanes=16)
+
+
+def test_memory_classes():
+    assert MEMORY_CLASSES == {UopClass.LOAD, UopClass.STORE}
+    assert MicroOp(UopClass.LOAD, addr=0).is_memory
+    assert not MicroOp(UopClass.ALU).is_memory
+
+
+def test_wrong_path_template_normalizes_weights():
+    template = WrongPathTemplate(mix=((UopClass.ALU, 2.0),
+                                      (UopClass.LOAD, 2.0)))
+    # u < 0.5 -> ALU, u >= 0.5 -> LOAD
+    assert template.pick_class(0.1) is UopClass.ALU
+    assert template.pick_class(0.9) is UopClass.LOAD
+
+
+def test_wrong_path_template_rejects_zero_weights():
+    with pytest.raises(ValueError):
+        WrongPathTemplate(mix=((UopClass.ALU, 0.0),))
+
+
+def test_wrong_path_template_covers_unit_interval():
+    template = WrongPathTemplate()
+    for u in (0.0, 0.25, 0.5, 0.75, 0.999999):
+        assert isinstance(template.pick_class(u), UopClass)

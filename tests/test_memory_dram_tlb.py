@@ -1,0 +1,70 @@
+"""Unit tests for the DRAM bandwidth model and the TLBs."""
+
+import pytest
+
+from repro.config.cores import DramConfig, TlbConfig
+from repro.memory.dram import DramModel
+from repro.memory.tlb import Tlb
+
+
+def test_dram_unloaded_latency():
+    dram = DramModel(DramConfig(latency=100, cycles_per_line=4.0))
+    assert dram.access(0.0) == 100.0
+
+
+def test_dram_bandwidth_spacing():
+    dram = DramModel(DramConfig(latency=100, cycles_per_line=4.0))
+    first = dram.access(0.0)
+    second = dram.access(0.0)   # same-cycle request queues 4 cycles
+    assert second == first + 4.0
+
+
+def test_dram_idle_gap_resets_queue():
+    dram = DramModel(DramConfig(latency=100, cycles_per_line=4.0))
+    dram.access(0.0)
+    assert dram.access(1000.0) == 1100.0  # no queueing after a gap
+
+
+def test_dram_queue_delay_stat():
+    dram = DramModel(DramConfig(latency=100, cycles_per_line=10.0))
+    dram.access(0.0)
+    dram.access(0.0)
+    assert dram.total_queue_delay == pytest.approx(10.0)
+    assert dram.average_queue_delay == pytest.approx(5.0)
+
+
+def test_dram_writeback_consumes_bandwidth():
+    dram = DramModel(DramConfig(latency=100, cycles_per_line=4.0))
+    dram.writeback(0.0)
+    assert dram.access(0.0) == 104.0
+
+
+def test_tlb_hit_after_fill():
+    tlb = Tlb(TlbConfig(entries=4, page_bytes=4096, miss_penalty=20))
+    assert tlb.access(0x1000) == 20   # cold miss
+    assert tlb.access(0x1FFF) == 0    # same page
+    assert tlb.access(0x2000) == 20   # next page
+
+
+def test_tlb_lru_eviction():
+    tlb = Tlb(TlbConfig(entries=2, page_bytes=4096, miss_penalty=20))
+    tlb.access(0x0000)
+    tlb.access(0x1000)
+    tlb.access(0x0000)          # refresh page 0
+    tlb.access(0x2000)          # evicts page 1 (LRU)
+    assert tlb.access(0x0000) == 0
+    assert tlb.access(0x1000) == 20
+
+
+def test_tlb_miss_rate():
+    tlb = Tlb(TlbConfig(entries=8, page_bytes=4096, miss_penalty=20))
+    tlb.access(0x0000)
+    tlb.access(0x0008)
+    assert tlb.miss_rate == pytest.approx(0.5)
+
+
+def test_tlb_capacity_respected():
+    tlb = Tlb(TlbConfig(entries=4, page_bytes=4096, miss_penalty=20))
+    for page in range(16):
+        tlb.access(page * 4096)
+    assert len(tlb._entries) <= 4

@@ -1,0 +1,69 @@
+"""Unit tests for the MSHR file (outstanding-miss queueing)."""
+
+import pytest
+
+from repro.memory.mshr import MshrFile
+
+
+def test_free_slot_grants_immediately():
+    mshr = MshrFile(2)
+    assert mshr.acquire(10.0) == 10.0
+
+
+def test_full_file_queues_on_earliest_release():
+    mshr = MshrFile(2)
+    for release in (100.0, 200.0):
+        assert mshr.acquire(0.0) == 0.0
+        mshr.hold_until(release)
+    # Both slots busy: the next miss waits for the 100-cycle release.
+    assert mshr.acquire(0.0) == 100.0
+
+
+def test_released_slots_are_reusable():
+    mshr = MshrFile(1)
+    mshr.acquire(0.0)
+    mshr.hold_until(50.0)
+    assert mshr.acquire(60.0) == 60.0  # released at 50
+
+
+def test_grant_never_before_request():
+    mshr = MshrFile(1)
+    mshr.acquire(0.0)
+    mshr.hold_until(5.0)
+    assert mshr.acquire(10.0) == 10.0
+
+
+def test_wait_statistics():
+    mshr = MshrFile(1)
+    mshr.acquire(0.0)
+    mshr.hold_until(100.0)
+    mshr.acquire(0.0)  # waits 100
+    assert mshr.total_wait == pytest.approx(100.0)
+    assert mshr.max_wait == pytest.approx(100.0)
+    assert mshr.average_wait == pytest.approx(50.0)  # 2 acquisitions
+
+
+def test_outstanding_count():
+    mshr = MshrFile(4)
+    for _ in range(3):
+        mshr.acquire(0.0)
+        mshr.hold_until(100.0)
+    assert mshr.outstanding(50.0) == 3
+    assert mshr.outstanding(150.0) == 0
+
+
+def test_queueing_cascades():
+    """Three misses through one slot serialize completely."""
+    mshr = MshrFile(1)
+    grants = []
+    t = 0.0
+    for _ in range(3):
+        grant = mshr.acquire(t)
+        grants.append(grant)
+        mshr.hold_until(grant + 100.0)
+    assert grants == [0.0, 100.0, 200.0]
+
+
+def test_requires_positive_size():
+    with pytest.raises(ValueError):
+        MshrFile(0)

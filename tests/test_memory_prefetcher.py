@@ -1,0 +1,87 @@
+"""Unit tests for the stream prefetcher."""
+
+from repro.config.cores import PrefetcherConfig
+from repro.memory.prefetcher import StreamPrefetcher
+
+
+def make_pf(**kwargs):
+    defaults = dict(enabled=True, streams=4, degree=2, distance=8,
+                    train_threshold=2)
+    defaults.update(kwargs)
+    return StreamPrefetcher(PrefetcherConfig(**defaults), line_bytes=64)
+
+
+def test_disabled_prefetcher_is_silent():
+    pf = make_pf(enabled=False)
+    for line in range(10):
+        assert pf.on_demand_access(line) == []
+
+
+def test_needs_training_before_issuing():
+    pf = make_pf(train_threshold=2)
+    assert pf.on_demand_access(0) == []   # allocate stream
+    assert pf.on_demand_access(1) == []   # confidence 1 < 2
+    assert pf.on_demand_access(2) != []   # trained
+
+
+def test_prefetches_ahead_of_demand():
+    pf = make_pf()
+    for line in range(3):
+        pf.on_demand_access(line)
+    targets = pf.on_demand_access(3)
+    assert targets
+    assert all(t > 3 for t in targets)
+    assert all(t <= 3 + 8 for t in targets)  # within distance
+
+
+def test_descending_stream():
+    pf = make_pf()
+    issued = []
+    for line in range(100, 90, -1):
+        issued.extend(pf.on_demand_access(line))
+    assert issued
+    assert all(t < 91 for t in issued[-2:])
+
+
+def test_no_duplicate_lines_within_stream():
+    pf = make_pf(degree=2, distance=16)
+    issued = []
+    for line in range(20):
+        issued.extend(pf.on_demand_access(line))
+    assert len(issued) == len(set(issued))
+
+
+def test_direction_flip_resets_confidence():
+    pf = make_pf()
+    for line in range(4):
+        pf.on_demand_access(line)
+    # Direction change: no prefetch on the flip itself; the stream then
+    # retrains downward and resumes after train_threshold strides.
+    assert pf.on_demand_access(2) == []
+    retrained = pf.on_demand_access(1)
+    assert all(t < 1 for t in retrained)
+
+
+def test_random_accesses_do_not_train():
+    pf = make_pf()
+    issued = []
+    # Lines in one region but with alternating directions.
+    for line in (0, 5, 1, 6, 2, 7, 0, 5):
+        issued.extend(pf.on_demand_access(line))
+    assert issued == []
+
+
+def test_stream_table_is_bounded():
+    pf = make_pf(streams=2)
+    # Touch many distinct regions (region = 4 KB = 64 lines).
+    for region in range(10):
+        pf.on_demand_access(region * 64)
+    assert len(pf._streams) <= 2
+
+
+def test_trigger_and_issue_stats():
+    pf = make_pf()
+    for line in range(10):
+        pf.on_demand_access(line)
+    assert pf.triggers > 0
+    assert pf.issued > 0

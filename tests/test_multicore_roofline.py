@@ -1,0 +1,82 @@
+"""Tests for socket-level aggregation and the roofline helper."""
+
+import pytest
+
+from repro.config.presets import skylake_x, tiny_core
+from repro.core.components import FlopsComponent
+from repro.core.roofline import roofline_point
+from repro.experiments.multicore import simulate_socket
+from repro.experiments.runner import run_case
+
+
+def test_socket_aggregation_shapes():
+    result = simulate_socket("exchange2", tiny_core(), threads=3,
+                             instructions=2000)
+    assert result.threads == 3
+    assert len(result.per_thread) == 3
+    # Component-per-component average: totals average too.
+    expected = sum(r.report.commit.total()
+                   for r in result.per_thread) / 3
+    assert result.commit.total() == pytest.approx(expected)
+
+
+def test_socket_homogeneity_of_regular_kernel():
+    """Paper premise: 'all threads show homogeneous behavior'."""
+    result = simulate_socket("exchange2", tiny_core(), threads=3,
+                             instructions=2000)
+    assert result.homogeneity() < 0.05
+
+
+def test_socket_aggregate_matches_single_thread_shape():
+    single = simulate_socket("imagick", tiny_core(), threads=1,
+                             instructions=2000)
+    multi = simulate_socket("imagick", tiny_core(), threads=3,
+                            instructions=2000)
+    assert multi.cpi == pytest.approx(single.cpi, rel=0.15)
+
+
+def test_socket_flops_scales_with_threads():
+    config = skylake_x()
+    two = simulate_socket("gemm-train-1760-skx", config, threads=2,
+                          instructions=2000)
+    four = simulate_socket("gemm-train-1760-skx", config, threads=4,
+                           instructions=2000)
+    assert four.socket_gflops() == pytest.approx(
+        2 * two.socket_gflops(), rel=0.1
+    )
+
+
+def test_socket_requires_threads():
+    with pytest.raises(ValueError):
+        simulate_socket("mcf", tiny_core(), threads=0)
+
+
+def test_roofline_point_compute_kernel():
+    config = skylake_x()
+    result = run_case("gemm-train-1760-skx", "skx", instructions=12_000,
+                      warmup_fraction=0.0)
+    point = roofline_point(result, config)
+    # The blocked sgemm kernel reuses its L1-resident panel: high
+    # intensity, compute bound.
+    assert point.arithmetic_intensity > 3
+    assert point.compute_bound
+    assert 0 < point.achieved_gflops <= point.peak_gflops
+    assert 0 < point.roof_fraction <= 1.0
+
+
+def test_roofline_limiters_explain_the_gap():
+    config = skylake_x()
+    result = run_case("conv-vgg-2-fwd", "skx", instructions=6000,
+                      warmup_fraction=0.0)
+    point = roofline_point(result, config)
+    limiter = point.dominant_limiter()
+    assert limiter is not None and limiter is not FlopsComponent.BASE
+
+
+def test_roofline_requires_flops_stack():
+    from repro.pipeline.result import SimResult
+
+    fake = SimResult(name="x", config_name="y", cycles=1,
+                     committed_uops=1, committed_instrs=1, report=None)
+    with pytest.raises(ValueError):
+        roofline_point(fake, skylake_x())

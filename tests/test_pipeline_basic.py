@@ -1,0 +1,134 @@
+"""Pipeline timing semantics on small hand-built programs."""
+
+import pytest
+
+from repro.core.components import Component
+from repro.isa import decoder as asm
+from repro.pipeline.core import simulate
+from repro.workloads.base import DATA_BASE, TraceBuilder
+
+from tests.conftest import load_loop, serial_chain, straightline_alu
+
+
+def test_ilp_code_reaches_ideal_cpi(tiny):
+    """Independent ALU work saturates the pipeline: CPI -> 1/W."""
+    result = simulate(straightline_alu(2000), tiny,
+                      warmup_instructions=200)
+    assert result.cpi == pytest.approx(1 / tiny.dispatch_width, rel=0.05)
+
+
+def test_ideal_cpi_stack_is_all_base(tiny):
+    result = simulate(straightline_alu(2000), tiny,
+                      warmup_instructions=200)
+    report = result.report
+    for stack in (report.dispatch, report.issue, report.commit):
+        assert stack.get(Component.BASE) / stack.total() > 0.95
+
+
+def test_serial_alu_chain_runs_one_per_cycle(tiny):
+    """A 1-cycle dependence chain executes one op per cycle."""
+    result = simulate(serial_chain(1000, "alu"), tiny,
+                      warmup_instructions=100)
+    assert result.cpi == pytest.approx(1.0, rel=0.05)
+
+
+def test_serial_mul_chain_costs_full_latency(tiny):
+    """A multiply chain is bounded by the multiply latency."""
+    latency = tiny.latencies[asm.UopClass.MUL]
+    result = simulate(serial_chain(500, "mul"), tiny,
+                      warmup_instructions=100)
+    assert result.cpi == pytest.approx(latency, rel=0.05)
+
+
+def test_mul_chain_blamed_to_alu_latency(tiny):
+    result = simulate(serial_chain(500, "mul"), tiny)
+    issue = result.report.issue
+    assert issue.get(Component.ALU_LAT) > 0.5 * issue.total()
+
+
+def test_unpipelined_divide_serializes(tiny):
+    """Independent divides still serialize on the single divide unit."""
+    b = TraceBuilder("divs", seed=1)
+    for i in range(200):
+        b.emit(asm.div(b.pc, dst=2 + i % 8, srcs=(10,)))
+    result = simulate(b.program(), tiny)
+    latency = tiny.latencies[asm.UopClass.DIV]
+    assert result.cpi == pytest.approx(latency, rel=0.1)
+
+
+def test_commit_count_matches_trace(tiny):
+    prog = straightline_alu(777)
+    result = simulate(prog, tiny)
+    assert result.committed_instrs == len(prog)
+    assert result.committed_uops == prog.uop_count
+
+
+def test_determinism(tiny):
+    prog = load_loop(500, lines=64, stride_lines=3)
+    a = simulate(prog, tiny, seed=42)
+    b = simulate(prog, tiny, seed=42)
+    assert a.cycles == b.cycles
+    assert a.report.dispatch.counters == b.report.dispatch.counters
+
+
+def test_accounting_off_gives_same_timing(tiny):
+    prog = load_loop(500, lines=64, stride_lines=3)
+    with_acct = simulate(prog, tiny, accounting=True)
+    without = simulate(prog, tiny, accounting=False)
+    assert with_acct.cycles == without.cycles
+    assert without.report is None
+
+
+def test_warmup_excludes_cold_misses(tiny):
+    """With warmup covering the first pass, steady-state CPI is lower."""
+    prog = load_loop(2000, lines=16)  # 16 lines revisited constantly
+    cold = simulate(prog, tiny)
+    warm = simulate(prog, tiny, warmup_instructions=500)
+    assert warm.cpi <= cold.cpi
+    assert warm.cycles < cold.cycles
+
+
+def test_l1_resident_loads_near_ideal(tiny):
+    prog = load_loop(2000, lines=4)
+    result = simulate(prog, tiny, warmup_instructions=200)
+    # One load port on tiny: loads are port-bound at CPI ~1.
+    assert result.cpi == pytest.approx(1.0, rel=0.1)
+
+
+def test_cold_loads_show_dcache_component(tiny):
+    prog = load_loop(400, lines=4096, stride_lines=7)
+    result = simulate(prog, tiny)
+    commit = result.report.commit
+    assert commit.get(Component.DCACHE) > 0.3 * commit.total()
+
+
+def test_max_cycles_guard(tiny):
+    prog = straightline_alu(100)
+    with pytest.raises(RuntimeError):
+        simulate_with_limit(prog, tiny)
+
+
+def simulate_with_limit(prog, config):
+    from repro.pipeline.core import CoreSimulator
+
+    return CoreSimulator(prog, config).run(max_cycles=3)
+
+
+def test_requires_memory_hierarchy(tiny):
+    from dataclasses import replace
+
+    from repro.pipeline.core import CoreSimulator
+
+    config = replace(tiny, memory=None)
+    with pytest.raises(ValueError):
+        CoreSimulator(straightline_alu(10), config)
+
+
+def test_empty_residue_drains(tiny):
+    """The simulator terminates once the trace and pipeline drain."""
+    b = TraceBuilder("drain", seed=1)
+    b.emit(asm.load(b.pc, dst=2, addr=DATA_BASE))
+    b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+    result = simulate(b.program(), tiny)
+    assert result.committed_uops == 2
+    assert result.cycles > 0

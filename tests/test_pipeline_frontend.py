@@ -1,0 +1,146 @@
+"""Pipeline frontend features: I-cache stalls, microcode, sync yields."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.components import Component, FlopsComponent
+from repro.isa import decoder as asm
+from repro.pipeline.core import simulate
+from repro.workloads.base import TraceBuilder
+
+
+def big_code_program(n_blocks=64, iters=6):
+    """Code footprint far beyond the tiny core's 2 KB L1I."""
+    b = TraceBuilder("bigcode", seed=1)
+    count = 0
+    for _ in range(iters):
+        for block in range(n_blocks):
+            b.at(0x0040_0000 + block * 256)
+            for j in range(8):
+                b.emit(asm.alu(b.pc, dst=2 + j % 8, srcs=(2 + j % 8,)))
+                count += 1
+    return b.program()
+
+
+def test_icache_misses_produce_icache_component(tiny):
+    result = simulate(big_code_program(), tiny)
+    dispatch = result.report.dispatch
+    assert dispatch.get(Component.ICACHE) > 0.1 * dispatch.total()
+
+
+def test_perfect_icache_removes_the_component(tiny):
+    prog = big_code_program()
+    ideal = simulate(prog, replace(tiny, perfect_icache=True))
+    assert ideal.report.dispatch.get(Component.ICACHE) == 0.0
+    baseline = simulate(prog, tiny)
+    assert ideal.cycles < baseline.cycles
+
+
+def test_small_code_fits_l1i(tiny):
+    b = TraceBuilder("small", seed=1)
+    loop_pc = b.pc
+    for i in range(1000):
+        b.at(loop_pc)
+        for j in range(4):
+            b.emit(asm.alu(b.pc, dst=2 + j, srcs=(2 + j,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(2,)))
+    result = simulate(b.program(), tiny, warmup_instructions=100)
+    dispatch = result.report.dispatch
+    assert dispatch.get(Component.ICACHE) < 0.02 * dispatch.total()
+
+
+def microcoded_program(n=300):
+    b = TraceBuilder("micro", seed=1)
+    loop_pc = b.pc
+    for i in range(n):
+        b.at(loop_pc)
+        b.emit(asm.microcoded_fp(b.pc, dst=40 + i % 4, srcs=(32, 33),
+                                 n_uops=4))
+        b.emit(asm.alu(b.pc, dst=2, srcs=(2,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(2,)))
+    return b.program()
+
+
+def test_microcode_component_appears(tiny):
+    """The microcode sequencer (1 uop/cycle) starves the 2-wide dispatch:
+    the paper's povray-on-KNL `Microcode` component (Fig. 3d)."""
+    result = simulate(microcoded_program(), tiny,
+                      warmup_instructions=50)
+    dispatch = result.report.dispatch
+    assert dispatch.get(Component.MICROCODE) > 0
+
+
+def test_microcode_throttles_delivery(tiny):
+    """A faster microcode sequencer removes the decode bottleneck."""
+    # Pure stream of microcoded instructions: the sequencer (1 uop/cycle)
+    # is the only frontend limiter.
+    b = TraceBuilder("pure-micro", seed=1)
+    loop_pc = b.pc
+    for i in range(250):
+        b.at(loop_pc)
+        b.emit(asm.microcoded_fp(b.pc, dst=40 + i % 4, srcs=(32, 33),
+                                 n_uops=4))
+    prog = b.program()
+    # Two vector units so FP throughput (2/cycle) exceeds the sequencer
+    # rate (1 uop/cycle): the sequencer is the binding resource.
+    wide = replace(tiny, vector_units=2)
+    slow = simulate(prog, wide, warmup_instructions=50)
+    fast = simulate(prog, replace(wide, microcode_uops_per_cycle=4),
+                    warmup_instructions=50)
+    assert slow.cycles > fast.cycles
+
+
+def test_sync_yield_deschedules_core(tiny):
+    b = TraceBuilder("sync", seed=1)
+    base = b.pc
+    for i in range(100):
+        b.at(base)
+        b.emit(asm.alu(b.pc, dst=2, srcs=(2,)))
+    b.emit(asm.sync_yield(b.pc, 500))
+    for i in range(100):
+        b.at(base + 8)
+        b.emit(asm.alu(b.pc, dst=3, srcs=(3,)))
+    result = simulate(b.program(), tiny)
+    # The 500 yielded cycles appear in every stack as Unsched.
+    for stack in (result.report.dispatch, result.report.issue,
+                  result.report.commit):
+        assert stack.get(Component.UNSCHED) >= 500
+    assert result.cycles >= 500 + 100
+
+
+def test_sync_yield_in_flops_stack(tiny):
+    b = TraceBuilder("sync", seed=1)
+    base = b.pc
+    for i in range(50):
+        b.at(base)
+        b.emit(asm.fma(b.pc, dst=40 + i % 8, srcs=(40 + i % 8, 33),
+                       lanes=4, width_lanes=4))
+    b.emit(asm.sync_yield(b.pc, 300))
+    result = simulate(b.program(), tiny)
+    flops = result.report.flops
+    assert flops.get(FlopsComponent.UNSCHED) >= 300
+
+
+def test_execution_resumes_after_yield(tiny):
+    b = TraceBuilder("sync", seed=1)
+    b.emit(asm.alu(b.pc, dst=2, srcs=(2,)))
+    b.emit(asm.sync_yield(b.pc, 50))
+    b.emit(asm.alu(b.pc, dst=3, srcs=(3,)))
+    result = simulate(b.program(), tiny)
+    assert result.committed_instrs == 3
+
+
+def test_trace_end_drain_is_not_misattributed(tiny):
+    """After the trace ends, residual drain cycles go to OTHER, not to a
+    stale frontend reason."""
+    b = TraceBuilder("drain", seed=1)
+    base = b.pc
+    for i in range(100):
+        b.at(base)
+        b.emit(asm.alu(b.pc, dst=2, srcs=(2,)))
+    b.emit(asm.div(b.pc, dst=3, srcs=(2,)))
+    result = simulate(b.program(), tiny, warmup_instructions=50)
+    # The final divide drains for ~20 cycles; those belong to the divide
+    # (ALU latency), not to a stale frontend reason.
+    assert result.report.commit.get(Component.ICACHE) < 3
+    assert result.report.commit.get(Component.ALU_LAT) > 10

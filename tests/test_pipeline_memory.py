@@ -1,0 +1,112 @@
+"""Pipeline memory behaviour: loads, stores, forwarding, conflicts."""
+
+import pytest
+
+from repro.core.components import Component
+from repro.isa import decoder as asm
+from repro.pipeline.core import simulate
+from repro.workloads.base import DATA_BASE, TraceBuilder
+
+
+def test_store_to_load_forwarding(tiny):
+    """A load from a just-stored address forwards from the store queue
+    instead of paying the cache-fill latency."""
+    b = TraceBuilder("fwd", seed=1)
+    addr = DATA_BASE + 0x100000  # never loaded before: cold in caches
+    base = b.pc
+    for i in range(200):
+        b.at(base)
+        b.emit(asm.alu(b.pc, dst=3, srcs=(3,)))
+        b.emit(asm.store(b.pc, src=3, addr=addr + (i % 4) * 64))
+        b.emit(asm.load(b.pc, dst=4, addr=addr + (i % 4) * 64))
+        b.emit(asm.alu(b.pc, dst=5, srcs=(4,)))
+    result = simulate(b.program(), tiny)
+    # Forwarded loads complete in ~1 cycle: CPI stays near serial-chain
+    # speed, nowhere near the cold-miss latency (60+ cycles).
+    assert result.cpi < 3.0
+
+
+def test_load_waits_for_older_unexecuted_store(tiny):
+    """The conflicting load cannot issue before the store executes; the
+    stall appears as a structural 'Other' at the issue stage."""
+    b = TraceBuilder("conflict", seed=1)
+    addr = DATA_BASE
+    base = b.pc
+    for _ in range(300):
+        b.at(base)
+        # Long dependence chain delays the store's data...
+        b.emit(asm.mul(b.pc, dst=2, srcs=(2,)))
+        b.emit(asm.store(b.pc, src=2, addr=addr))
+        # ...and the load must wait on it despite having its address.
+        b.emit(asm.load(b.pc, dst=4, addr=addr))
+    result = simulate(b.program(), tiny)
+    issue = result.report.issue
+    assert issue.get(Component.OTHER) > 0
+
+
+def test_stores_do_not_stall_commit(tiny):
+    """Stores retire through the store buffer without blocking."""
+    b = TraceBuilder("stores", seed=1)
+    base = b.pc
+    for i in range(500):
+        b.at(base)
+        b.emit(asm.store(b.pc, src=1, addr=DATA_BASE + i * 64))
+        b.emit(asm.alu(b.pc, dst=2, srcs=(2,)))
+    result = simulate(b.program(), tiny)
+    # Store misses are cold (streaming) but fire-and-forget: CPI stays low.
+    assert result.cpi < 3.0
+
+
+def test_dependent_load_chain_serializes_misses(tiny):
+    """Pointer-chase-style dependent loads expose the full miss latency."""
+    b = TraceBuilder("chase", seed=1)
+    lines = 512
+    base = b.pc
+    for i in range(300):
+        b.at(base)
+        addr = DATA_BASE + ((i * 97) % lines) * 64
+        b.emit(asm.load(b.pc, dst=2, addr=addr, addr_srcs=(2,)))
+    serial = simulate(b.program(), tiny)
+
+    b2 = TraceBuilder("parallel", seed=1)
+    base = b2.pc
+    for i in range(300):
+        b2.at(base)
+        addr = DATA_BASE + ((i * 97) % lines) * 64
+        b2.emit(asm.load(b2.pc, dst=2 + i % 8, addr=addr, addr_srcs=(1,)))
+    parallel = simulate(b2.program(), tiny)
+    # Same addresses; the dependent chain must be much slower than the
+    # MLP-friendly version.
+    assert serial.cpi > 1.5 * parallel.cpi
+
+
+def test_perfect_dcache_removes_dcache_component(tiny):
+    from dataclasses import replace
+
+    b = TraceBuilder("misses", seed=1)
+    base = b.pc
+    for i in range(400):
+        b.at(base)
+        b.emit(asm.load(b.pc, dst=2, addr=DATA_BASE + i * 64 * 7,
+                        addr_srcs=(2,)))
+    baseline = simulate(b.program(), tiny)
+    ideal = simulate(b.program(), replace(tiny, perfect_dcache=True))
+    assert baseline.report.commit.get(Component.DCACHE) > 0
+    assert ideal.report.commit.get(Component.DCACHE) == 0
+    assert ideal.cycles < baseline.cycles
+
+
+def test_load_blamed_dcache_only_when_missing(tiny):
+    """L1-hitting loads never produce a DCACHE component."""
+    b = TraceBuilder("hits", seed=1)
+    for i in range(50):
+        b.emit(asm.load(b.pc, dst=2, addr=DATA_BASE + (i % 2) * 64))
+    b2 = TraceBuilder("hits2", seed=1)
+    base = b2.pc
+    for i in range(2000):
+        b2.at(base)
+        b2.emit(asm.load(b2.pc, dst=2, addr=DATA_BASE + (i % 2) * 64,
+                         addr_srcs=(2,)))
+    result = simulate(b2.program(), tiny, warmup_instructions=100)
+    commit = result.report.commit
+    assert commit.get(Component.DCACHE) < 0.02 * commit.total()

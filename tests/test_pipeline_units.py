@@ -1,0 +1,223 @@
+"""Direct unit tests for pipeline building blocks (frontend, FU pool,
+in-flight records, results)."""
+
+import pytest
+
+from repro.branch.predictors import make_predictor
+from repro.config.presets import tiny_core
+from repro.core.components import Component
+from repro.isa import decoder as asm
+from repro.isa.instructions import Program
+from repro.isa.uops import UopClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.frontend import Frontend
+from repro.pipeline.inflight import InflightUop
+from repro.pipeline.resources import FunctionalUnitPool
+from repro.pipeline.result import SimResult
+from repro.workloads.base import TraceBuilder
+
+
+def make_frontend(instrs, config=None):
+    config = config or tiny_core()
+    prog = Program("fe-test")
+    prog.extend(instrs)
+    hierarchy = MemoryHierarchy(config.memory)
+    predictor = make_predictor(config.predictor, config.predictor_bits,
+                               config.btb_entries)
+    return Frontend(prog, config, hierarchy, predictor), config
+
+
+def small_loop(n=8):
+    b = TraceBuilder("loop", seed=1)
+    base = b.pc
+    out = []
+    for i in range(n):
+        b.at(base)
+        out.append(b.emit(asm.alu(b.pc, dst=2, srcs=(2,))))
+    return out
+
+
+# --- Frontend ---------------------------------------------------------------
+
+def test_frontend_delivers_in_program_order():
+    fe, _ = make_frontend(small_loop(6))
+    delivered = []
+    cycle = 0
+    while not fe.idle and cycle < 200:
+        delivered.extend(fe.deliver(cycle, room=8))
+        cycle += 1
+    assert [u.seq for u in delivered] == sorted(u.seq for u in delivered)
+    assert len(delivered) == 6
+
+
+def test_frontend_respects_room():
+    fe, _ = make_frontend(small_loop(8))
+    # Drain the initial I-cache stall first.
+    cycle = 0
+    out = []
+    while not out and cycle < 200:
+        out = fe.deliver(cycle, room=1)
+        cycle += 1
+    assert len(out) == 1
+    assert fe.deliver(cycle, room=0) == []
+
+
+def test_frontend_icache_stall_reports_reason():
+    fe, config = make_frontend(small_loop(4))
+    # First fetch misses the cold I-cache.
+    assert fe.deliver(0, room=8) == []
+    assert fe.reason(1) is Component.ICACHE
+
+
+def test_frontend_decode_width_limits_delivery():
+    fe, config = make_frontend(small_loop(8))
+    cycle = 0
+    out = []
+    while not out and cycle < 200:
+        out = fe.deliver(cycle, room=8)
+        cycle += 1
+    assert len(out) <= config.decode_width
+
+
+def test_frontend_microcode_rate_limit():
+    b = TraceBuilder("micro", seed=1)
+    instrs = [b.emit(asm.microcoded_fp(b.pc, dst=40, srcs=(32,),
+                                       n_uops=4))]
+    fe, config = make_frontend(instrs)
+    cycle = 0
+    per_cycle = []
+    while not fe.idle and cycle < 300:
+        per_cycle.append(len(fe.deliver(cycle, room=8)))
+        cycle += 1
+    assert max(per_cycle) <= config.microcode_uops_per_cycle
+
+
+def test_frontend_mispredict_enters_wrong_path():
+    b = TraceBuilder("br", seed=1)
+    instrs = [
+        b.emit(asm.alu(b.pc, dst=2, srcs=(2,))),
+        # Taken branch: the cold BTB cannot know the target -> mispredict.
+        b.emit(asm.branch(b.pc, taken=True, target=0x400000, srcs=(2,))),
+        b.emit(asm.alu(b.pc, dst=3, srcs=(3,))),
+    ]
+    fe, _ = make_frontend(instrs)
+    cycle = 0
+    while not fe.wrong_path and cycle < 300:
+        fe.deliver(cycle, room=8)
+        cycle += 1
+    assert fe.wrong_path
+    assert fe.resolving_branch is not None
+    # Wrong-path delivery produces synthesized micro-ops.
+    wrong = fe.deliver(cycle, room=8)
+    assert wrong and all(u.wrong_path for u in wrong)
+    # Redirect ends wrong-path mode and pays the penalty.
+    fe.redirect(cycle)
+    assert not fe.wrong_path
+    assert fe.deliver(cycle + 1, room=8) == []
+    assert fe.reason(cycle + 1) is Component.BPRED
+
+
+def test_frontend_sync_blocks_until_released():
+    b = TraceBuilder("sync", seed=1)
+    instrs = [
+        b.emit(asm.sync_yield(b.pc, 10)),
+        b.emit(asm.alu(b.pc, dst=2, srcs=(2,))),
+    ]
+    fe, _ = make_frontend(instrs)
+    cycle = 0
+    delivered = []
+    while not delivered and cycle < 300:
+        delivered = fe.deliver(cycle, room=8)
+        cycle += 1
+    assert fe.waiting_sync is not None
+    assert fe.deliver(cycle, room=8) == []
+    assert fe.reason(cycle) is Component.UNSCHED
+    fe.sync_released()
+    assert fe.waiting_sync is None
+
+
+def test_frontend_idle_after_trace():
+    fe, _ = make_frontend(small_loop(2))
+    for cycle in range(300):
+        fe.deliver(cycle, room=8)
+    assert fe.idle
+    assert fe.reason(301) is None
+
+
+# --- FunctionalUnitPool -------------------------------------------------------
+
+def test_fu_pool_per_cycle_slots():
+    config = tiny_core()  # 1 load port
+    pool = FunctionalUnitPool(config)
+    pool.new_cycle(0)
+    load = InflightUop(
+        asm.load(0, dst=2, addr=64).uops[0], None, 0, 0
+    )
+    assert pool.can_issue(load.pool)
+    pool.take(load.pool, UopClass.LOAD, 0, 1)
+    assert not pool.can_issue(load.pool)
+    pool.new_cycle(1)
+    assert pool.can_issue(load.pool)
+
+
+def test_fu_pool_unpipelined_divide_blocks_unit():
+    config = tiny_core()  # 1 mul unit; DIV unpipelined, latency 20
+    pool = FunctionalUnitPool(config)
+    div = InflightUop(asm.div(0, dst=2).uops[0], None, 0, 0)
+    pool.new_cycle(0)
+    assert pool.can_issue(div.pool)
+    pool.take(div.pool, UopClass.DIV, 0, 20)
+    pool.new_cycle(5)
+    assert not pool.can_issue(div.pool)  # still busy
+    pool.new_cycle(20)
+    assert pool.can_issue(div.pool)      # released
+
+
+def test_fu_pool_issue_width_caps_everything():
+    config = tiny_core()  # issue width 4
+    pool = FunctionalUnitPool(config)
+    pool.new_cycle(0)
+    alu = InflightUop(asm.alu(0, dst=2).uops[0], None, 0, 0)
+    taken = 0
+    while pool.can_issue(alu.pool):
+        pool.take(alu.pool, UopClass.ALU, 0, 1)
+        taken += 1
+    assert taken <= config.issue_width
+
+
+# --- InflightUop / SimResult --------------------------------------------------
+
+def test_inflight_first_unfinished_producer():
+    producer_a = InflightUop(asm.alu(0, dst=2).uops[0], None, 0, 0)
+    producer_b = InflightUop(asm.mul(4, dst=3).uops[0], None, 1, 0)
+    consumer = InflightUop(asm.alu(8, dst=4, srcs=(2, 3)).uops[0],
+                           None, 2, 0)
+    consumer.producers = [producer_a, producer_b]
+    assert consumer.first_unfinished_producer() is producer_a
+    producer_a.done = True
+    assert consumer.first_unfinished_producer() is producer_b
+    producer_b.done = True
+    assert consumer.first_unfinished_producer() is None
+
+
+def test_simresult_derived_metrics():
+    result = SimResult(
+        name="x", config_name="y", cycles=200, committed_uops=100,
+        committed_instrs=80, branch_lookups=10, branch_mispredicts=2,
+        wall_seconds=0.5,
+    )
+    assert result.cpi == pytest.approx(2.0)
+    assert result.ipc == pytest.approx(0.5)
+    assert result.cpi_per_instr == pytest.approx(2.5)
+    assert result.mispredict_rate == pytest.approx(0.2)
+    assert result.simulated_uops_per_second == pytest.approx(200.0)
+    assert result.summary()["cpi"] == pytest.approx(2.0)
+
+
+def test_simresult_zero_guards():
+    result = SimResult(name="x", config_name="y", cycles=0,
+                       committed_uops=0, committed_instrs=0)
+    assert result.cpi == 0.0
+    assert result.ipc == 0.0
+    assert result.mispredict_rate == 0.0
+    assert result.simulated_uops_per_second == 0.0

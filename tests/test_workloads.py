@@ -1,0 +1,196 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.isa.uops import UopClass
+from repro.workloads.base import (
+    RESERVED_INT_REGS,
+    WorkloadSpec,
+    permutation_chain,
+)
+from repro.workloads.deepbench import (
+    DEEPBENCH_CONFIGS,
+    conv_configs,
+    conv_trace,
+    sgemm_configs,
+    sgemm_trace,
+)
+from repro.workloads.registry import (
+    SPEC_LIKE_NAMES,
+    WORKLOADS,
+    get_workload,
+    make_trace,
+)
+
+import random
+
+
+def test_permutation_chain_is_single_cycle():
+    """Walking next[] visits every node exactly once before repeating."""
+    chain = permutation_chain(random.Random(7), 256)
+    seen = set()
+    cur = 0
+    for _ in range(256):
+        assert cur not in seen
+        seen.add(cur)
+        cur = chain[cur]
+    assert cur == 0
+    assert len(seen) == 256
+
+
+@pytest.mark.parametrize("name", SPEC_LIKE_NAMES)
+def test_generators_are_deterministic(name):
+    a = make_trace(name, 2000, seed=5)
+    b = make_trace(name, 2000, seed=5)
+    assert len(a) == len(b)
+    assert all(
+        x.pc == y.pc and x.uops == y.uops
+        for x, y in zip(a.instructions, b.instructions)
+    )
+
+
+@pytest.mark.parametrize("name", SPEC_LIKE_NAMES)
+def test_generators_respect_length(name):
+    prog = make_trace(name, 3000)
+    # Generators may overshoot by at most one loop iteration.
+    assert 3000 <= len(prog) <= 3000 + 200
+
+
+@pytest.mark.parametrize("name", SPEC_LIKE_NAMES)
+def test_generators_avoid_reserved_registers(name):
+    """Integer registers 24-31 belong to the wrong-path synthesizer."""
+    prog = make_trace(name, 2000)
+    reserved = set(RESERVED_INT_REGS)
+    for instr in prog:
+        for uop in instr.uops:
+            assert uop.dst not in reserved
+            assert not (set(uop.srcs) & reserved)
+
+
+def test_seed_changes_trace():
+    a = make_trace("mcf", 2000, seed=1)
+    b = make_trace("mcf", 2000, seed=2)
+    addrs_a = [u.addr for i in a for u in i.uops if u.addr >= 0]
+    addrs_b = [u.addr for i in b for u in i.uops if u.addr >= 0]
+    assert addrs_a != addrs_b
+
+
+def test_mcf_has_dependent_chase_loads():
+    prog = make_trace("mcf", 2000)
+    loads = [u for i in prog for u in i.uops if u.uclass is UopClass.LOAD]
+    assert len(loads) > 100
+    # The chase load reads the pointer register.
+    assert any(1 in u.srcs for u in loads)
+
+
+def test_cactus_code_footprint_exceeds_l1i():
+    prog = make_trace("cactus", 25_000)  # one full code sweep
+    lines = {i.pc >> 6 for i in prog}
+    assert len(lines) * 64 > 32 * 1024  # touches > 32 KB worth of I-lines
+
+
+def test_bwaves_streams_sequentially():
+    prog = make_trace("bwaves", 4000)
+    addrs = [u.addr for i in prog for u in i.uops
+             if u.uclass is UopClass.LOAD]
+    deltas = [b - a for a, b in zip(addrs, addrs[1:])]
+    # Dominantly forward-streaming.
+    assert sum(1 for d in deltas if d > 0) > 0.9 * len(deltas)
+
+
+def test_povray_contains_microcoded_instructions():
+    prog = make_trace("povray", 3000)
+    assert any(i.microcoded for i in prog)
+
+
+def test_imagick_has_multicycle_chains():
+    prog = make_trace("imagick", 2000)
+    muls = sum(1 for i in prog for u in i.uops
+               if u.uclass is UopClass.MUL)
+    assert muls > 100
+
+
+def test_registry_covers_spec_and_deepbench():
+    assert len(SPEC_LIKE_NAMES) >= 10
+    assert len(WORKLOADS) > len(SPEC_LIKE_NAMES)
+    with pytest.raises(KeyError):
+        get_workload("not-a-workload")
+
+
+def test_registry_rejects_tiny_traces():
+    with pytest.raises(ValueError):
+        make_trace("mcf", 10)
+
+
+def test_deepbench_config_table():
+    assert len(sgemm_configs()) + len(conv_configs()) == len(
+        DEEPBENCH_CONFIGS
+    )
+    for config in DEEPBENCH_CONFIGS:
+        assert config.flops == 2 * config.m * config.n * config.k
+
+
+def test_sgemm_knl_style_uses_memory_operand_fmas():
+    """KNL JIT: FMAs split into load + FMA micro-op pairs."""
+    config = sgemm_configs()[0]
+    prog = sgemm_trace(config, "knl", 2000)
+    split = sum(
+        1 for i in prog
+        if len(i.uops) == 2
+        and i.uops[0].uclass is UopClass.LOAD
+        and i.uops[1].uclass is UopClass.FMA
+    )
+    assert split > 100
+
+
+def test_sgemm_skx_style_uses_broadcasts():
+    config = sgemm_configs()[0]
+    prog = sgemm_trace(config, "skx", 2000)
+    broadcasts = sum(1 for i in prog for u in i.uops
+                     if u.uclass is UopClass.BROADCAST)
+    assert broadcasts > 10
+    # Register-form FMAs read the broadcast register.
+    fmas = [u for i in prog for u in i.uops if u.uclass is UopClass.FMA]
+    assert all(39 in u.srcs for u in fmas)
+
+
+def test_sgemm_rejects_unknown_style():
+    with pytest.raises(ValueError):
+        sgemm_trace(sgemm_configs()[0], "avx2")
+
+
+def test_sgemm_knl_has_higher_vfp_density_than_skx():
+    config = sgemm_configs()[0]
+    knl = sgemm_trace(config, "knl", 3000).summary()["vfp_uop_fraction"]
+    skx = sgemm_trace(config, "skx", 3000).summary()["vfp_uop_fraction"]
+    assert skx < 0.55  # SKX style dilutes VFP with loads/ALU
+    assert knl < 0.55  # memory-operand split halves the FMA density
+
+
+def test_conv_phases_differ():
+    config = conv_configs()[0]
+    fwd = conv_trace(config, "fwd", 3000).summary()
+    bwd_f = conv_trace(config, "bwd_f", 3000).summary()
+    assert fwd["vfp_uops"] != bwd_f["vfp_uops"]
+    with pytest.raises(ValueError):
+        conv_trace(config, "sideways", 1000)
+
+
+def test_conv_includes_sync_yields():
+    config = conv_configs()[0]
+    prog = conv_trace(config, "fwd", 9000)
+    assert any(i.yield_cycles > 0 for i in prog)
+
+
+def test_conv_masked_edges():
+    config = next(c for c in conv_configs() if c.n % 16)
+    prog = conv_trace(config, "fwd", 3000)
+    fma_lanes = {u.lanes for i in prog for u in i.uops
+                 if u.uclass is UopClass.FMA}
+    assert len(fma_lanes) > 1  # full and masked vectors
+
+
+def test_workload_spec_make_validates():
+    spec = WorkloadSpec("x", "y", "z", lambda n, s: None)
+    with pytest.raises(ValueError):
+        spec.make(50)
