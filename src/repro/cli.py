@@ -5,10 +5,16 @@ Subcommands::
     repro run --workload mcf --core bdw          # one simulation + stacks
     repro workloads                              # list the registry
     repro presets                                # list machine presets
-    repro table1                                 # Table I reproduction
-    repro fig3 --case fig3a                      # one Fig. 3 case study
-    repro fig5                                   # IPC vs FLOPS stacks
+    repro table1 [--jobs N]                      # Table I reproduction
+    repro fig2 --core bdw [--jobs N]             # Fig. 2 error sweep
+    repro fig3 --case fig3a [--jobs N]           # one Fig. 3 case study
+    repro fig5 [--jobs N]                        # IPC vs FLOPS stacks
     repro overhead                               # accounting overhead
+    repro cache stats | clear                    # persistent result cache
+
+Experiment subcommands accept ``--jobs`` (default: ``$REPRO_JOBS`` or the
+CPU count) and print a one-line harness summary — cases scheduled, cache
+hits, wall time and simulated uops/sec — after their output.
 """
 
 from __future__ import annotations
@@ -20,17 +26,23 @@ from typing import Sequence
 from repro.config.presets import PRESETS, get_preset
 from repro.core.components import FLOPS_COMPONENTS
 from repro.core.wrongpath import WrongPathMode
+from repro.experiments.error import figure2_errors, summarize_errors
 from repro.experiments.idealization import FIG3_CASES, fig3_case, table1_rows
 from repro.experiments.flops_study import figure5_case
 from repro.experiments.overhead import measure_overhead
-from repro.experiments.runner import run_case
+from repro.experiments.parallel import summarize_since, telemetry_mark
+from repro.experiments.runner import clear_cache, run_case
+from repro.experiments.cache import get_disk_cache
 from repro.viz.ascii import (
+    render_boxplot_table,
     render_cpi_stack,
     render_flops_stack,
     render_stack_bar,
     render_table,
 )
 from repro.workloads.registry import WORKLOADS
+
+
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -101,14 +113,43 @@ def _cmd_presets(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    rows = table1_rows(instructions=args.instructions, seed=args.seed)
+    rows = table1_rows(
+        instructions=args.instructions, seed=args.seed, jobs=args.jobs
+    )
     print("Table I: CPI components by idealizing structures")
     print(render_table(rows))
     return 0
 
 
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    errors = figure2_errors(
+        args.core, instructions=args.instructions, seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(
+        f"Fig. 2 ({args.core.upper()}): error = predicted component - "
+        "actual CPI delta"
+    )
+    for component, points in errors.items():
+        if not points:
+            continue
+        print()
+        print(
+            f"component {component.value} "
+            f"({len(points)} benchmarks over threshold):"
+        )
+        print(render_boxplot_table(summarize_errors(points)))
+        within = sum(p.within_bounds for p in points)
+        print(
+            f"actual delta within multi-stage bounds: {within}/{len(points)}"
+        )
+    return 0
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    study = fig3_case(args.case, instructions=args.instructions)
+    study = fig3_case(
+        args.case, instructions=args.instructions, jobs=args.jobs
+    )
     report = study.baseline.report
     assert report is not None
     print(
@@ -128,7 +169,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    case = figure5_case(instructions=args.instructions)
+    case = figure5_case(instructions=args.instructions, jobs=args.jobs)
     config = get_preset(case.preset)
     max_ipc = float(config.accounting_width)
     for idealized, label in ((False, "baseline"), (True, "perfect Dcache")):
@@ -163,6 +204,7 @@ def _cmd_socket(args: argparse.Namespace) -> int:
         config,
         threads=args.threads,
         instructions=args.instructions,
+        jobs=args.jobs,
     )
     print(
         f"{args.threads}-thread socket of {args.workload} on "
@@ -180,6 +222,34 @@ def _cmd_socket(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = get_disk_cache()
+    if args.action == "clear":
+        removed = clear_cache()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir: {stats['dir']}")
+    print(f"entries:   {stats['entries']}")
+    print(f"size:      {stats['bytes'] / 1024:.1f} KiB")
+    print(
+        "this process: "
+        f"{stats['sim_invocations']} simulations, "
+        f"{stats['memo_hits']} memo hits, "
+        f"{stats['disk_hits']} disk hits, "
+        f"{stats['disk_misses']} disk misses, "
+        f"{stats['corrupt_entries']} corrupt entries dropped"
+    )
+    return 0
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS or the CPU count)",
+    )
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
@@ -227,15 +297,27 @@ def build_parser() -> argparse.ArgumentParser:
     t1 = sub.add_parser("table1", help="reproduce Table I")
     t1.add_argument("--instructions", type=int, default=None)
     t1.add_argument("--seed", type=int, default=1)
+    _add_jobs_flag(t1)
     t1.set_defaults(func=_cmd_table1)
+
+    f2 = sub.add_parser(
+        "fig2", help="reproduce Fig. 2 (component error sweep)"
+    )
+    f2.add_argument("--core", default="bdw", choices=sorted(PRESETS))
+    f2.add_argument("--instructions", type=int, default=None)
+    f2.add_argument("--seed", type=int, default=1)
+    _add_jobs_flag(f2)
+    f2.set_defaults(func=_cmd_fig2)
 
     f3 = sub.add_parser("fig3", help="reproduce a Fig. 3 case study")
     f3.add_argument("--case", default="fig3a", choices=sorted(FIG3_CASES))
     f3.add_argument("--instructions", type=int, default=None)
+    _add_jobs_flag(f3)
     f3.set_defaults(func=_cmd_fig3)
 
     f5 = sub.add_parser("fig5", help="reproduce Fig. 5 (IPC vs FLOPS)")
     f5.add_argument("--instructions", type=int, default=None)
+    _add_jobs_flag(f5)
     f5.set_defaults(func=_cmd_fig5)
 
     sk = sub.add_parser(
@@ -246,7 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
     sk.add_argument("--core", default="skx", choices=sorted(PRESETS))
     sk.add_argument("--threads", type=int, default=4)
     sk.add_argument("--instructions", type=int, default=None)
+    _add_jobs_flag(sk)
     sk.set_defaults(func=_cmd_socket)
+
+    ca = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    ca.add_argument("action", choices=("stats", "clear"),
+                    help="show footprint/counters, or purge all entries")
+    ca.set_defaults(func=_cmd_cache)
 
     ov = sub.add_parser("overhead", help="measure accounting overhead")
     ov.add_argument("--workload", default="mcf", choices=sorted(WORKLOADS))
@@ -260,7 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # Experiment subcommands (the ones with --jobs) get a harness summary
+    # line covering every batch the command scheduled.
+    harnessed = hasattr(args, "jobs")
+    mark = telemetry_mark() if harnessed else None
+    rc = args.func(args)
+    if mark is not None:
+        print()
+        print(summarize_since(mark))
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,9 +7,41 @@ side by side from one preset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import enum
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 from repro.isa.uops import UopClass, WrongPathTemplate
+
+
+def config_fingerprint(value: object) -> object:
+    """Recursively freeze a configuration object into JSON-able primitives.
+
+    The output is deterministic (dicts sorted, enums by name, sets sorted)
+    so it can be hashed into a stable content address for the on-disk
+    result cache: two configs with identical fields always produce the
+    same fingerprint, regardless of construction order or process.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: config_fingerprint(getattr(value, f.name))
+            for f in fields(value)
+            if not f.name.startswith("_")
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        frozen = {
+            str(config_fingerprint(k)): config_fingerprint(v)
+            for k, v in value.items()
+        }
+        return dict(sorted(frozen.items()))
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(config_fingerprint(v)) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [config_fingerprint(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot fingerprint {type(value).__name__}: {value!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -220,3 +252,9 @@ class CoreConfig:
 
     def with_memory(self, memory: MemoryConfig) -> "CoreConfig":
         return replace(self, memory=memory)
+
+    def fingerprint(self) -> dict:
+        """Stable, JSON-able dump of every field (for cache keys)."""
+        out = config_fingerprint(self)
+        assert isinstance(out, dict)
+        return out

@@ -42,6 +42,14 @@ class Idealization:
             single_cycle_alu=config.single_cycle_alu or self.single_cycle_alu,
         )
 
+    def fingerprint(self) -> dict:
+        """Stable, JSON-able dump of the switches (for cache keys)."""
+        from repro.config.cores import config_fingerprint
+
+        out = config_fingerprint(self)
+        assert isinstance(out, dict)
+        return out
+
     def __or__(self, other: "Idealization") -> "Idealization":
         """Combine two idealizations (e.g. perfect bpred AND Dcache)."""
         return Idealization(

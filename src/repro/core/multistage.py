@@ -188,3 +188,34 @@ class MultiStageReport:
     ) -> float:
         """Fig. 2's single-stack error: predicted component minus actual."""
         return self.stack(stage).component_cpi(component) - actual_delta
+
+    def to_dict(self) -> dict:
+        """Serialize for the disk cache / worker transport."""
+        topdown = None
+        if self.topdown is not None:
+            topdown = self.topdown.to_dict()
+        return {
+            "name": self.name,
+            "dispatch": self.dispatch.to_dict(),
+            "issue": self.issue.to_dict(),
+            "commit": self.commit.to_dict(),
+            "flops": self.flops.to_dict() if self.flops else None,
+            "topdown": topdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MultiStageReport":
+        flops = data.get("flops")
+        topdown = data.get("topdown")
+        if topdown is not None:
+            from repro.core.topdown import TopDownReport
+
+            topdown = TopDownReport.from_dict(topdown)
+        return cls(
+            name=data["name"],
+            dispatch=CpiStack.from_dict(data["dispatch"]),
+            issue=CpiStack.from_dict(data["issue"]),
+            commit=CpiStack.from_dict(data["commit"]),
+            flops=FlopsStack.from_dict(flops) if flops else None,
+            topdown=topdown,
+        )

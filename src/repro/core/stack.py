@@ -121,6 +121,35 @@ class CpiStack(_BaseStack):
         out.counters = dict(self.counters)
         return out
 
+    def to_dict(self) -> dict:
+        """Serialize for the disk cache / worker transport.
+
+        Components are stored by enum *name* so deserialization always maps
+        back onto the canonical singleton members (the accountants rely on
+        identity hashing).
+        """
+        return {
+            "name": self.name,
+            "stage": self.stage,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "counters": {c.name: v for c, v in self.counters.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CpiStack":
+        out = cls(
+            name=data["name"],
+            stage=data["stage"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+        )
+        out.counters = {
+            Component[name]: value
+            for name, value in data["counters"].items()
+        }
+        return out
+
 
 @dataclass(slots=True)
 class FlopsStack(_BaseStack):
@@ -174,6 +203,30 @@ class FlopsStack(_BaseStack):
             peak_per_cycle=self.peak_per_cycle,
         )
         out.counters = dict(self.counters)
+        return out
+
+    def to_dict(self) -> dict:
+        """Serialize for the disk cache / worker transport."""
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "flops": self.flops,
+            "peak_per_cycle": self.peak_per_cycle,
+            "counters": {c.name: v for c, v in self.counters.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FlopsStack":
+        out = cls(
+            name=data["name"],
+            cycles=data["cycles"],
+            flops=data["flops"],
+            peak_per_cycle=data["peak_per_cycle"],
+        )
+        out.counters = {
+            FlopsComponent[name]: value
+            for name, value in data["counters"].items()
+        }
         return out
 
 

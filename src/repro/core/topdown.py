@@ -92,6 +92,36 @@ class TopDownReport:
             / instructions
         )
 
+    def to_dict(self) -> dict:
+        """Serialize for the disk cache / worker transport (by enum name)."""
+        return {
+            "cycles": self.cycles,
+            "level1": {k.name: v for k, v in self.level1.items()},
+            "frontend_detail": {
+                k.name: v for k, v in self.frontend_detail.items()
+            },
+            "backend_detail": {
+                k.name: v for k, v in self.backend_detail.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopDownReport":
+        return cls(
+            cycles=data["cycles"],
+            level1={
+                TopLevel[k]: v for k, v in data["level1"].items()
+            },
+            frontend_detail={
+                FrontendDetail[k]: v
+                for k, v in data["frontend_detail"].items()
+            },
+            backend_detail={
+                BackendDetail[k]: v
+                for k, v in data["backend_detail"].items()
+            },
+        )
+
 
 class TopDownAccountant:
     """Per-cycle top-down slot accounting.

@@ -1,6 +1,11 @@
 """Evaluation harness: one module per paper experiment family.
 
-* :mod:`repro.experiments.runner` — cached simulation driver.
+* :mod:`repro.experiments.runner` — cached simulation driver (memo,
+  persistent disk cache, simulator).
+* :mod:`repro.experiments.cache` — case specs, content-addressed keys and
+  the on-disk result store.
+* :mod:`repro.experiments.parallel` — the batch scheduler dispatching
+  case lists across worker processes.
 * :mod:`repro.experiments.idealization` — CPI deltas from perfected
   structures (Table I, Fig. 3 case studies).
 * :mod:`repro.experiments.error` — per-component error distributions for
@@ -11,6 +16,7 @@
   (Sec. IV, "<1% simulation time" claim).
 """
 
+from repro.experiments.cache import CaseSpec
 from repro.experiments.error import (
     ComponentError,
     figure2_errors,
@@ -27,9 +33,11 @@ from repro.experiments.idealization import (
     table1_rows,
 )
 from repro.experiments.overhead import measure_overhead
+from repro.experiments.parallel import resolve_jobs, run_cases
 from repro.experiments.runner import clear_cache, run_case
 
 __all__ = [
+    "CaseSpec",
     "ComponentError",
     "IdealizationStudy",
     "clear_cache",
@@ -38,7 +46,9 @@ __all__ = [
     "figure4_differences",
     "figure5_case",
     "measure_overhead",
+    "resolve_jobs",
     "run_case",
+    "run_cases",
     "run_study",
     "summarize_errors",
     "table1_rows",

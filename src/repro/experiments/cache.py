@@ -1,0 +1,282 @@
+"""Content-addressed persistent result cache for the experiment harness.
+
+Every experiment in this reproduction is a fan-out of independent
+``run_case`` simulations, and the same (workload, config, idealization)
+cases recur across Table I, Fig. 2, Fig. 3 and the FLOPS studies.  This
+module gives those cases a durable identity:
+
+* :class:`CaseSpec` — the full description of one simulation.  Its
+  :meth:`CaseSpec.key` is a SHA-256 over a canonical JSON dump of every
+  input that can change the result (workload name, instruction count,
+  seeds, the *resolved* config's fields, idealization, wrong-path mode,
+  warmup fraction, and the accounting schema version), so the key is a
+  content address: equal inputs map to the same key in every process and
+  every session.
+* :class:`DiskCache` — a pickle-per-entry store under
+  ``results/.cache/`` (override with ``REPRO_CACHE_DIR``), sharded by the
+  first two hex digits of the key.  Entries are written atomically and a
+  truncated/corrupt/stale-schema entry is treated as a miss and deleted,
+  never raised.
+* :class:`HarnessTelemetry` — process-wide hit/miss/simulation counters
+  (the "zero simulator invocations on a warm cache" guarantee is asserted
+  against :attr:`HarnessTelemetry.sim_invocations`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config.cores import CoreConfig
+from repro.config.idealize import Idealization
+from repro.config.presets import get_preset
+from repro.core.wrongpath import WrongPathMode
+from repro.pipeline.result import ACCOUNTING_SCHEMA_VERSION, SimResult
+
+#: Fraction of the trace used to warm caches/TLBs/predictor before the
+#: measured region begins (the paper fast-forwards 10B instructions).
+DEFAULT_WARMUP_FRACTION = 0.3
+
+#: Environment variable overriding the on-disk cache location.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``results/.cache``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results" / ".cache"
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """Everything that identifies one simulation case.
+
+    Exactly one of ``preset`` (a registry name) or ``config`` (an explicit
+    :class:`CoreConfig`, used by the multicore harness for per-thread
+    variants) must be given.  ``seed`` seeds the trace generator;
+    ``sim_seed`` the simulator (defaults to ``seed + 777``, matching the
+    historical ``run_case`` behaviour).
+    """
+
+    workload: str
+    preset: str | None = None
+    config: CoreConfig | None = None
+    idealization: Idealization | None = None
+    instructions: int | None = None
+    seed: int = 1
+    mode: WrongPathMode = WrongPathMode.EXACT
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+    sim_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.preset is None) == (self.config is None):
+            raise ValueError(
+                "CaseSpec needs exactly one of preset= or config="
+            )
+
+    @property
+    def simulate_seed(self) -> int:
+        return self.sim_seed if self.sim_seed is not None else self.seed + 777
+
+    def resolved_config(self) -> CoreConfig:
+        """The final machine config: preset/explicit plus idealization."""
+        config = self.config
+        if config is None:
+            assert self.preset is not None
+            config = get_preset(self.preset)
+        if self.idealization is not None:
+            config = self.idealization.apply(config)
+        return config
+
+    def fingerprint(self) -> dict:
+        """Canonical JSON-able identity of this case (hashed into the key)."""
+        return {
+            "schema": ACCOUNTING_SCHEMA_VERSION,
+            "workload": self.workload,
+            "instructions": self.instructions,
+            "trace_seed": self.seed,
+            "sim_seed": self.simulate_seed,
+            "mode": self.mode.value,
+            "warmup_fraction": self.warmup_fraction,
+            "idealization": (
+                self.idealization.fingerprint()
+                if self.idealization is not None
+                else None
+            ),
+            "config": self.resolved_config().fingerprint(),
+        }
+
+    def key(self) -> str:
+        """Content address: SHA-256 of the canonical fingerprint."""
+        text = json.dumps(
+            self.fingerprint(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for telemetry and logs."""
+        machine = self.preset or self.resolved_config().name
+        ideal = f"+{self.idealization.name}" if self.idealization else ""
+        return f"{self.workload}@{machine}{ideal}"
+
+
+@dataclass
+class HarnessTelemetry:
+    """Process-wide harness counters (reset between experiments/tests).
+
+    ``sim_invocations`` counts simulations performed *on behalf of this
+    process* — in-process runs and pool-worker runs alike (the parent
+    increments when it collects a worker result), so a warm-cache rerun
+    asserting "zero simulator invocations" sees through the pool.
+    """
+
+    sim_invocations: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    corrupt_entries: int = 0
+    uops_simulated: int = 0
+    sim_seconds: float = 0.0
+    #: (case label, simulated wall seconds) per simulation, newest last.
+    case_seconds: list[tuple[str, float]] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.sim_invocations = 0
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.corrupt_entries = 0
+        self.uops_simulated = 0
+        self.sim_seconds = 0.0
+        self.case_seconds.clear()
+
+    def record_simulation(self, label: str, result: SimResult) -> None:
+        self.sim_invocations += 1
+        self.uops_simulated += result.committed_uops
+        self.sim_seconds += result.wall_seconds
+        self.case_seconds.append((label, result.wall_seconds))
+
+    def counters(self) -> dict[str, float]:
+        return {
+            "sim_invocations": self.sim_invocations,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "corrupt_entries": self.corrupt_entries,
+            "uops_simulated": self.uops_simulated,
+            "sim_seconds": self.sim_seconds,
+        }
+
+
+#: The process-wide telemetry instance shared by runner and scheduler.
+TELEMETRY = HarnessTelemetry()
+
+
+class DiskCache:
+    """Pickle-per-entry content-addressed store, shared across processes.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` where each payload is
+    ``{"schema": int, "spec": fingerprint, "result": SimResult.to_dict()}``.
+    Writes go through an atomic rename so concurrent pool workers (or
+    parallel pytest sessions) can never expose a torn entry; any
+    unreadable or stale-schema entry is deleted and reported as a miss.
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> SimResult | None:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != ACCOUNTING_SCHEMA_VERSION
+            ):
+                raise ValueError("stale or malformed cache entry")
+            return SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated pickle, stale schema, unreadable file: a cache must
+            # degrade to a miss, never crash the experiment.
+            TELEMETRY.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, spec_fingerprint: dict, result: SimResult) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": ACCOUNTING_SCHEMA_VERSION,
+            "spec": spec_fingerprint,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only cache directory degrades to write-through misses.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.pkl"))
+
+    def purge(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for shard in self.root.glob("??"):
+                try:
+                    shard.rmdir()  # only empty shards; non-empty raise
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict[str, object]:
+        """On-disk footprint plus this process's hit/miss counters."""
+        entries = self.entries()
+        total_bytes = 0
+        for path in entries:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "bytes": total_bytes,
+            **TELEMETRY.counters(),
+        }
+
+
+def get_disk_cache() -> DiskCache:
+    """The cache at the currently configured root (env read per call, so
+    tests can repoint ``REPRO_CACHE_DIR`` at a temp dir)."""
+    return DiskCache()

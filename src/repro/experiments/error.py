@@ -16,7 +16,9 @@ from dataclasses import dataclass
 from repro.config.idealize import IDEALIZATIONS
 from repro.core.components import Component
 from repro.core.multistage import ALL_STAGES, Stage
-from repro.experiments.runner import run_case
+from repro.experiments.cache import CaseSpec
+from repro.experiments.parallel import run_cases
+from repro.pipeline.result import SimResult
 from repro.stats.descriptive import BoxStats, boxplot_stats
 from repro.workloads.registry import SPEC_LIKE_NAMES
 
@@ -61,13 +63,31 @@ def figure2_errors(
     instructions: int | None = None,
     seed: int = 1,
     threshold: float = SIGNIFICANCE_THRESHOLD,
+    jobs: int | None = None,
 ) -> dict[Component, list[ComponentError]]:
-    """Collect Fig. 2 error data points for one machine preset."""
+    """Collect Fig. 2 error data points for one machine preset.
+
+    Two batch rounds through the parallel harness: every baseline first
+    (the significance filter needs their stacks), then every surviving
+    (workload, component) idealized rerun at once.
+    """
     out: dict[Component, list[ComponentError]] = {c: [] for c in components}
-    for workload in workloads:
-        baseline = run_case(
-            workload, preset, instructions=instructions, seed=seed
-        )
+    baselines = run_cases(
+        [
+            CaseSpec(
+                workload=workload,
+                preset=preset,
+                instructions=instructions,
+                seed=seed,
+            )
+            for workload in workloads
+        ],
+        jobs=jobs,
+    )
+    # Apply the paper's inclusion filter to declare the idealized sweep.
+    selected: list[tuple[str, Component, SimResult]] = []
+    ideal_specs: list[CaseSpec] = []
+    for workload, baseline in zip(workloads, baselines):
         report = baseline.report
         assert report is not None
         cpi = baseline.cpi
@@ -82,33 +102,41 @@ def figure2_errors(
             )
             if not significant:
                 continue
-            ideal = IDEALIZATIONS[component]
-            idealized = run_case(
-                workload,
-                preset,
-                idealization=ideal,
-                instructions=instructions,
-                seed=seed,
-            )
-            actual = cpi - idealized.cpi
-            predicted = {
-                stage: report.stack(stage).component_cpi(component)
-                for stage in ALL_STAGES
-            }
-            errors = {
-                stage: predicted[stage] - actual for stage in ALL_STAGES
-            }
-            out[component].append(
-                ComponentError(
+            selected.append((workload, component, baseline))
+            ideal_specs.append(
+                CaseSpec(
                     workload=workload,
                     preset=preset,
-                    component=component,
-                    actual_delta=actual,
-                    predicted=predicted,
-                    errors=errors,
-                    multistage_error=report.bound_error(component, actual),
+                    idealization=IDEALIZATIONS[component],
+                    instructions=instructions,
+                    seed=seed,
                 )
             )
+    idealized_results = run_cases(ideal_specs, jobs=jobs)
+    for (workload, component, baseline), idealized in zip(
+        selected, idealized_results
+    ):
+        report = baseline.report
+        assert report is not None
+        actual = baseline.cpi - idealized.cpi
+        predicted = {
+            stage: report.stack(stage).component_cpi(component)
+            for stage in ALL_STAGES
+        }
+        errors = {
+            stage: predicted[stage] - actual for stage in ALL_STAGES
+        }
+        out[component].append(
+            ComponentError(
+                workload=workload,
+                preset=preset,
+                component=component,
+                actual_delta=actual,
+                predicted=predicted,
+                errors=errors,
+                multistage_error=report.bound_error(component, actual),
+            )
+        )
     return out
 
 

@@ -21,7 +21,8 @@ from repro.core.components import (
     Component,
     FlopsComponent,
 )
-from repro.experiments.runner import run_case
+from repro.experiments.cache import CaseSpec
+from repro.experiments.parallel import run_cases
 from repro.pipeline.result import SimResult
 from repro.workloads.deepbench import conv_configs, sgemm_configs
 
@@ -99,25 +100,37 @@ def figure4_differences(
     *,
     instructions: int | None = None,
     seed: int = 1,
+    jobs: int | None = None,
 ) -> dict[tuple[str, str], dict[FlopsComponent, float]]:
     """Average per-component stack differences per (group, preset).
 
-    "We average all differences per set of benchmarks."
+    "We average all differences per set of benchmarks."  The full kernel
+    matrix (every group on every machine) is declared as one batch.
     """
+    cells = [
+        (group, preset, _group_workloads(group, preset))
+        for preset in presets
+        for group in groups
+    ]
+    specs = [
+        CaseSpec(
+            workload=name, preset=preset, instructions=instructions,
+            seed=seed,
+        )
+        for group, preset, names in cells
+        for name in names
+    ]
+    results = iter(run_cases(specs, jobs=jobs))
     out: dict[tuple[str, str], dict[FlopsComponent, float]] = {}
-    for preset in presets:
-        for group in groups:
-            names = _group_workloads(group, preset)
-            acc = {comp: 0.0 for comp in _FIG4_MAP}
-            for name in names:
-                result = run_case(
-                    name, preset, instructions=instructions, seed=seed
-                )
-                for comp, value in stack_difference(result).items():
-                    acc[comp] += value
-            out[(group, preset)] = {
-                comp: value / len(names) for comp, value in acc.items()
-            }
+    for group, preset, names in cells:
+        acc = {comp: 0.0 for comp in _FIG4_MAP}
+        for _name in names:
+            result = next(results)
+            for comp, value in stack_difference(result).items():
+                acc[comp] += value
+        out[(group, preset)] = {
+            comp: value / len(names) for comp, value in acc.items()
+        }
     return out
 
 
@@ -155,17 +168,22 @@ def figure5_case(
     *,
     instructions: int | None = None,
     seed: int = 1,
+    jobs: int | None = None,
 ) -> Figure5Case:
     """Run the Fig. 5 experiment: one conv fwd config on SKX."""
-    baseline = run_case(
-        workload, preset, instructions=instructions, seed=seed
-    )
-    ideal = run_case(
-        workload,
-        preset,
-        idealization=PERFECT_DCACHE,
-        instructions=instructions,
-        seed=seed,
+    baseline, ideal = run_cases(
+        [
+            CaseSpec(
+                workload=workload, preset=preset,
+                instructions=instructions, seed=seed,
+            ),
+            CaseSpec(
+                workload=workload, preset=preset,
+                idealization=PERFECT_DCACHE,
+                instructions=instructions, seed=seed,
+            ),
+        ],
+        jobs=jobs,
     )
     return Figure5Case(workload, preset, baseline, ideal)
 

@@ -18,7 +18,8 @@ from repro.config.idealize import (
     Idealization,
 )
 from repro.core.components import Component
-from repro.experiments.runner import run_case
+from repro.experiments.cache import CaseSpec
+from repro.experiments.parallel import run_cases
 from repro.pipeline.result import SimResult
 
 
@@ -49,6 +50,40 @@ class IdealizationStudy:
         }
 
 
+def study_specs(
+    workload: str,
+    preset: str,
+    idealizations: tuple[Idealization, ...],
+    *,
+    instructions: int | None = None,
+    seed: int = 1,
+) -> list[CaseSpec]:
+    """The full case list of one study: baseline first, then idealized."""
+    return [
+        CaseSpec(
+            workload=workload,
+            preset=preset,
+            idealization=ideal,
+            instructions=instructions,
+            seed=seed,
+        )
+        for ideal in (None, *idealizations)
+    ]
+
+
+def assemble_study(
+    workload: str,
+    preset: str,
+    idealizations: tuple[Idealization, ...],
+    results: list[SimResult],
+) -> IdealizationStudy:
+    """Pair ``study_specs`` results back into an :class:`IdealizationStudy`."""
+    study = IdealizationStudy(workload, preset, results[0])
+    for ideal, result in zip(idealizations, results[1:]):
+        study.idealized[ideal.name] = result
+    return study
+
+
 def run_study(
     workload: str,
     preset: str,
@@ -56,32 +91,27 @@ def run_study(
     *,
     instructions: int | None = None,
     seed: int = 1,
+    jobs: int | None = None,
 ) -> IdealizationStudy:
     """Simulate baseline plus each idealization of one workload."""
-    baseline = run_case(
-        workload, preset, instructions=instructions, seed=seed
+    specs = study_specs(
+        workload, preset, idealizations, instructions=instructions, seed=seed
     )
-    study = IdealizationStudy(workload, preset, baseline)
-    for ideal in idealizations:
-        study.idealized[ideal.name] = run_case(
-            workload,
-            preset,
-            idealization=ideal,
-            instructions=instructions,
-            seed=seed,
-        )
-    return study
+    results = run_cases(specs, jobs=jobs)
+    return assemble_study(workload, preset, idealizations, results)
 
 
 def table1_rows(
-    *, instructions: int | None = None, seed: int = 1
+    *, instructions: int | None = None, seed: int = 1,
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Reproduce Table I: hidden and overlapping stalls for mcf.
 
     KNL rows: 1-cycle ALU, perfect Dcache, and both (the combined delta
     exceeds the sum of the parts: hidden ALU stalls).  BDW rows: perfect
     bpred, perfect Dcache, and both (the combined delta is below the sum:
-    overlapping penalties).
+    overlapping penalties).  Both machines' case lists are declared in one
+    batch so the harness can schedule all eight simulations at once.
     """
     rows: list[dict[str, object]] = []
     cases = (
@@ -90,10 +120,21 @@ def table1_rows(
         ("bdw", (PERFECT_BPRED, PERFECT_DCACHE,
                  PERFECT_BPRED | PERFECT_DCACHE)),
     )
+    specs: list[CaseSpec] = []
     for preset, ideals in cases:
-        study = run_study(
-            "mcf", preset, ideals, instructions=instructions, seed=seed
+        specs.extend(
+            study_specs(
+                "mcf", preset, ideals, instructions=instructions, seed=seed
+            )
         )
+    results = run_cases(specs, jobs=jobs)
+    cursor = 0
+    for preset, ideals in cases:
+        count = 1 + len(ideals)
+        study = assemble_study(
+            "mcf", preset, ideals, results[cursor:cursor + count]
+        )
+        cursor += count
         rows.append(
             {
                 "app": f"mcf on {preset.upper()}",
@@ -126,7 +167,8 @@ FIG3_CASES: dict[str, tuple[str, str, tuple[Idealization, ...]]] = {
 
 
 def fig3_case(
-    case: str, *, instructions: int | None = None, seed: int = 1
+    case: str, *, instructions: int | None = None, seed: int = 1,
+    jobs: int | None = None,
 ) -> IdealizationStudy:
     """Run one Fig. 3 case study by id (fig3a .. fig3e)."""
     try:
@@ -136,7 +178,8 @@ def fig3_case(
             f"unknown Fig. 3 case {case!r}; available: {sorted(FIG3_CASES)}"
         ) from None
     return run_study(
-        workload, preset, ideals, instructions=instructions, seed=seed
+        workload, preset, ideals, instructions=instructions, seed=seed,
+        jobs=jobs,
     )
 
 

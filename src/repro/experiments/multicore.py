@@ -23,9 +23,9 @@ from repro.core.stack import (
     average_stacks,
     sum_flops_stacks,
 )
-from repro.pipeline.core import simulate
+from repro.experiments.cache import CaseSpec
+from repro.experiments.parallel import run_cases
 from repro.pipeline.result import SimResult
-from repro.workloads.registry import get_workload
 
 
 @dataclass(slots=True)
@@ -71,28 +71,30 @@ def simulate_socket(
     instructions: int | None = None,
     warmup_fraction: float = 0.3,
     base_seed: int = 1,
+    jobs: int | None = None,
 ) -> SocketResult:
     """Simulate ``threads`` homogeneous instances and aggregate.
 
     Each thread gets its own trace seed (different data-dependent control
     flow and addresses within the same kernel structure), modelling the
-    per-thread tiles of a parallel HPC kernel.
+    per-thread tiles of a parallel HPC kernel.  The threads are fully
+    independent, so they are declared as one batch and scheduled across
+    worker processes like any other case list.
     """
     if threads < 1:
         raise ValueError("a socket needs at least one thread")
-    spec = get_workload(workload)
-    results: list[SimResult] = []
-    for thread in range(threads):
-        trace = spec.make(instructions, seed=base_seed + thread)
-        warmup = int(len(trace) * warmup_fraction)
-        results.append(
-            simulate(
-                trace,
-                config,
-                warmup_instructions=warmup,
-                seed=base_seed + 1000 + thread,
-            )
+    specs = [
+        CaseSpec(
+            workload=workload,
+            config=config,
+            instructions=instructions,
+            seed=base_seed + thread,
+            sim_seed=base_seed + 1000 + thread,
+            warmup_fraction=warmup_fraction,
         )
+        for thread in range(threads)
+    ]
+    results: list[SimResult] = run_cases(specs, jobs=jobs)
     reports = [r.report for r in results]
     assert all(rep is not None for rep in reports)
     dispatch = average_stacks([rep.dispatch for rep in reports])

@@ -1,0 +1,219 @@
+"""Batch scheduler: dispatch independent cases across worker processes.
+
+The paper's experiments are embarrassingly parallel — every Table I /
+Fig. 2 / Fig. 3 / FLOPS-study artifact is a list of fully independent
+``run_case`` simulations.  :func:`run_cases` is the batch API the
+experiment modules declare their full case list to:
+
+1. keys are computed for every spec and duplicates collapse onto one
+   in-flight entry (a Fig. 2 sweep requests each baseline many times);
+2. the cache hierarchy (in-process memo, then the persistent disk cache)
+   is consulted per unique key;
+3. remaining misses are dispatched to a ``ProcessPoolExecutor``
+   (``jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``); with
+   ``jobs=1`` everything runs in-process, which is the deterministic
+   serial baseline;
+4. results are collected in submission order (never completion order),
+   round-tripped through ``SimResult.to_dict``, published to both cache
+   levels, and returned in the caller's original spec order — so a
+   parallel run is bit-identical to a serial one.
+
+Observability: each batch leaves a :class:`BatchStats` in
+:data:`LAST_BATCH` with wall time, per-level hit counts and simulated
+uops/sec; experiments print its ``summary()`` line and ``repro cache
+stats`` exposes the process-wide counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.experiments import runner
+from repro.experiments.cache import TELEMETRY, CaseSpec
+from repro.pipeline.result import SimResult
+
+#: Environment variable overriding the default worker count.
+ENV_JOBS = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else CPUs."""
+    if jobs is None:
+        env = os.environ.get(ENV_JOBS)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_JOBS} must be an integer, got {env!r}"
+                ) from None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass(slots=True)
+class BatchStats:
+    """What one ``run_cases`` batch did, for the summary line."""
+
+    cases: int = 0
+    unique: int = 0
+    jobs: int = 1
+    memo_hits: int = 0
+    disk_hits: int = 0
+    simulated: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    uops_simulated: int = 0
+    #: (case label, simulator wall seconds) for each case simulated here.
+    case_seconds: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def uops_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.uops_simulated / self.wall_seconds
+
+    def summary(self) -> str:
+        rate = self.uops_per_second
+        return (
+            f"[harness] {self.cases} cases ({self.unique} unique): "
+            f"{self.simulated} simulated, {self.memo_hits} memo hits, "
+            f"{self.disk_hits} disk hits | jobs={self.jobs} "
+            f"wall={self.wall_seconds:.2f}s sim={self.sim_seconds:.2f}s "
+            f"({rate / 1e3:.0f}k uops/s)"
+        )
+
+
+#: Stats of the most recent batch (experiments print its summary line).
+LAST_BATCH: BatchStats | None = None
+
+
+def _worker(spec: CaseSpec) -> dict:
+    """Pool worker: simulate one case and ship the serialized result.
+
+    The result crosses the process boundary as a ``to_dict`` payload so
+    the transport exercises exactly the same (schema-versioned) round
+    trip as the disk cache — fields can't silently diverge between the
+    serial and parallel paths.
+    """
+    return runner.execute_spec(spec).to_dict()
+
+
+def run_cases(
+    specs: Iterable[CaseSpec],
+    *,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    mp_start_method: str | None = None,
+) -> list[SimResult]:
+    """Resolve a batch of case specs, in parallel where possible.
+
+    Returns one :class:`SimResult` per input spec, in input order.
+    Duplicate specs are deduplicated in flight and share one result
+    object.  ``mp_start_method`` forces a multiprocessing start method
+    ("fork"/"spawn") for the pool — mainly for the determinism tests.
+    """
+    spec_list: Sequence[CaseSpec] = list(specs)
+    jobs = resolve_jobs(jobs)
+    start = time.perf_counter()
+    before = TELEMETRY.counters()
+    sims_before = len(TELEMETRY.case_seconds)
+
+    keys = [spec.key() for spec in spec_list]
+    results: dict[str, SimResult] = {}
+    pending: dict[str, CaseSpec] = {}
+    for key, spec in zip(keys, spec_list):
+        if key in results or key in pending:
+            continue
+        if use_cache:
+            cached = runner.lookup_cached(key)
+            if cached is not None:
+                results[key] = cached
+                continue
+        pending[key] = spec
+
+    if pending:
+        items = list(pending.items())
+        if jobs == 1 or len(items) == 1:
+            for key, spec in items:
+                result = runner.execute_spec(spec)
+                if use_cache:
+                    runner.store_result(key, spec, result)
+                results[key] = result
+        else:
+            context = None
+            if mp_start_method is not None:
+                context = multiprocessing.get_context(mp_start_method)
+            workers = min(jobs, len(items))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                submitted = [
+                    (key, spec, pool.submit(_worker, spec))
+                    for key, spec in items
+                ]
+                # Deterministic collection: submission order, not
+                # completion order.
+                for key, spec, future in submitted:
+                    result = SimResult.from_dict(future.result())
+                    TELEMETRY.record_simulation(spec.label(), result)
+                    if use_cache:
+                        runner.store_result(key, spec, result)
+                    results[key] = result
+
+    after = TELEMETRY.counters()
+    stats = BatchStats(
+        cases=len(spec_list),
+        unique=len(results),
+        jobs=jobs,
+        memo_hits=int(after["memo_hits"] - before["memo_hits"]),
+        disk_hits=int(after["disk_hits"] - before["disk_hits"]),
+        simulated=int(
+            after["sim_invocations"] - before["sim_invocations"]
+        ),
+        wall_seconds=time.perf_counter() - start,
+        sim_seconds=after["sim_seconds"] - before["sim_seconds"],
+        uops_simulated=int(
+            after["uops_simulated"] - before["uops_simulated"]
+        ),
+        case_seconds=list(TELEMETRY.case_seconds[sims_before:]),
+    )
+    global LAST_BATCH
+    LAST_BATCH = stats
+    return [results[key] for key in keys]
+
+
+def last_batch_summary() -> str | None:
+    """Summary line of the most recent batch, if any ran."""
+    return LAST_BATCH.summary() if LAST_BATCH is not None else None
+
+
+def telemetry_mark() -> tuple[float, dict[str, float]]:
+    """Snapshot (wall clock, counters) to later summarize an experiment
+    spanning several batches."""
+    return (time.perf_counter(), TELEMETRY.counters())
+
+
+def summarize_since(mark: tuple[float, dict[str, float]]) -> str:
+    """One-line harness summary of everything since ``telemetry_mark``."""
+    start, before = mark
+    after = TELEMETRY.counters()
+    wall = time.perf_counter() - start
+    simulated = int(after["sim_invocations"] - before["sim_invocations"])
+    memo = int(after["memo_hits"] - before["memo_hits"])
+    disk = int(after["disk_hits"] - before["disk_hits"])
+    uops = after["uops_simulated"] - before["uops_simulated"]
+    sim_seconds = after["sim_seconds"] - before["sim_seconds"]
+    rate = uops / wall if wall > 0 else 0.0
+    return (
+        f"[harness] {simulated + memo + disk} case lookups: "
+        f"{simulated} simulated, {memo} memo hits, {disk} disk hits | "
+        f"wall={wall:.2f}s sim={sim_seconds:.2f}s "
+        f"({rate / 1e3:.0f}k uops/s)"
+    )

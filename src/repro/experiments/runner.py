@@ -2,33 +2,61 @@
 
 Experiments share baselines aggressively (Fig. 2 alone needs the baseline
 stacks of every workload plus up to four idealized reruns each), so results
-are memoized on (workload, size, seed, preset, idealization, mode).  Traces
-are memoized too: baseline and idealized runs must replay the identical
-program, as in the paper's methodology.
+are cached at three levels, consulted in order:
+
+1. an in-process memo (identical objects within one session),
+2. the persistent content-addressed disk cache (``results/.cache/``,
+   shared across processes and sessions — see
+   :mod:`repro.experiments.cache`),
+3. the simulator itself.
+
+Traces are memoized too: baseline and idealized runs must replay the
+identical program, as in the paper's methodology.  For batch scheduling of
+many cases across worker processes, see :mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
 
 from repro.config.idealize import Idealization
-from repro.config.presets import get_preset
 from repro.core.wrongpath import WrongPathMode
+from repro.experiments.cache import (
+    DEFAULT_WARMUP_FRACTION,
+    TELEMETRY,
+    CaseSpec,
+    get_disk_cache,
+)
 from repro.isa.instructions import Program
 from repro.pipeline.core import simulate
 from repro.pipeline.result import SimResult
 from repro.workloads.registry import get_workload
 
-#: Fraction of the trace used to warm caches/TLBs/predictor before the
-#: measured region begins (the paper fast-forwards 10B instructions).
-DEFAULT_WARMUP_FRACTION = 0.3
+__all__ = [
+    "DEFAULT_WARMUP_FRACTION",
+    "CaseSpec",
+    "clear_cache",
+    "execute_spec",
+    "get_trace",
+    "lookup_cached",
+    "run_case",
+    "run_spec",
+    "store_result",
+]
 
 _trace_cache: dict[tuple, Program] = {}
-_result_cache: dict[tuple, SimResult] = {}
+_result_cache: dict[str, SimResult] = {}
 
 
-def clear_cache() -> None:
-    """Drop all memoized traces and results (mainly for tests)."""
+def clear_cache(*, disk: bool = True) -> int:
+    """Drop all memoized traces and results.
+
+    With ``disk=True`` (the default) the persistent on-disk cache is
+    purged as well; returns the number of disk entries removed.
+    """
     _trace_cache.clear()
     _result_cache.clear()
+    if disk:
+        return get_disk_cache().purge()
+    return 0
 
 
 def get_trace(name: str, instructions: int | None, seed: int) -> Program:
@@ -38,6 +66,56 @@ def get_trace(name: str, instructions: int | None, seed: int) -> Program:
         trace = get_workload(name).make(instructions, seed)
         _trace_cache[key] = trace
     return trace
+
+
+def execute_spec(spec: CaseSpec) -> SimResult:
+    """Simulate one case unconditionally (no cache consultation)."""
+    trace = get_trace(spec.workload, spec.instructions, spec.seed)
+    config = spec.resolved_config()
+    warmup = int(len(trace) * spec.warmup_fraction)
+    result = simulate(
+        trace,
+        config,
+        mode=spec.mode,
+        warmup_instructions=warmup,
+        seed=spec.simulate_seed,
+    )
+    TELEMETRY.record_simulation(spec.label(), result)
+    return result
+
+
+def lookup_cached(key: str) -> SimResult | None:
+    """Memo -> disk lookup for one case key (updating hit counters)."""
+    cached = _result_cache.get(key)
+    if cached is not None:
+        TELEMETRY.memo_hits += 1
+        return cached
+    result = get_disk_cache().get(key)
+    if result is not None:
+        TELEMETRY.disk_hits += 1
+        _result_cache[key] = result
+        return result
+    TELEMETRY.disk_misses += 1
+    return None
+
+
+def store_result(key: str, spec: CaseSpec, result: SimResult) -> None:
+    """Publish a freshly simulated result to the memo and the disk cache."""
+    _result_cache[key] = result
+    get_disk_cache().put(key, spec.fingerprint(), result)
+
+
+def run_spec(spec: CaseSpec, *, use_cache: bool = True) -> SimResult:
+    """Resolve one case through the cache hierarchy."""
+    if not use_cache:
+        return execute_spec(spec)
+    key = spec.key()
+    cached = lookup_cached(key)
+    if cached is not None:
+        return cached
+    result = execute_spec(spec)
+    store_result(key, spec, result)
+    return result
 
 
 def run_case(
@@ -52,24 +130,13 @@ def run_case(
     use_cache: bool = True,
 ) -> SimResult:
     """Simulate ``workload`` on ``preset``, optionally idealized."""
-    ideal_name = idealization.name if idealization is not None else ""
-    key = (workload, preset, ideal_name, instructions, seed, mode)
-    if use_cache:
-        cached = _result_cache.get(key)
-        if cached is not None:
-            return cached
-    trace = get_trace(workload, instructions, seed)
-    config = get_preset(preset)
-    if idealization is not None:
-        config = idealization.apply(config)
-    warmup = int(len(trace) * warmup_fraction)
-    result = simulate(
-        trace,
-        config,
+    spec = CaseSpec(
+        workload=workload,
+        preset=preset,
+        idealization=idealization,
+        instructions=instructions,
+        seed=seed,
         mode=mode,
-        warmup_instructions=warmup,
-        seed=seed + 777,
+        warmup_fraction=warmup_fraction,
     )
-    if use_cache:
-        _result_cache[key] = result
-    return result
+    return run_spec(spec, use_cache=use_cache)

@@ -6,6 +6,12 @@ from dataclasses import dataclass, field
 
 from repro.core.multistage import MultiStageReport
 
+#: Version of the accounting/result schema.  Part of every disk-cache key
+#: and stored payload: bump it whenever the meaning of a counter, a stack
+#: component set, or any :class:`SimResult` field changes, so stale cached
+#: results are treated as misses instead of silently reused.
+ACCOUNTING_SCHEMA_VERSION = 1
+
 
 @dataclass(slots=True)
 class SimResult:
@@ -62,6 +68,49 @@ class SimResult:
         if self.wall_seconds <= 0:
             return 0.0
         return self.committed_uops / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        """Full serialization: every field survives a round trip.
+
+        Used by the parallel harness (worker -> parent transport) and the
+        on-disk result cache, so nothing here may be lossy.
+        """
+        return {
+            "schema": ACCOUNTING_SCHEMA_VERSION,
+            "name": self.name,
+            "config_name": self.config_name,
+            "cycles": self.cycles,
+            "committed_uops": self.committed_uops,
+            "committed_instrs": self.committed_instrs,
+            "report": self.report.to_dict() if self.report else None,
+            "memory_stats": self.memory_stats,
+            "branch_lookups": self.branch_lookups,
+            "branch_mispredicts": self.branch_mispredicts,
+            "wrong_path_uops": self.wrong_path_uops,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        schema = data.get("schema")
+        if schema != ACCOUNTING_SCHEMA_VERSION:
+            raise ValueError(
+                f"result schema {schema!r} != {ACCOUNTING_SCHEMA_VERSION}"
+            )
+        report = data["report"]
+        return cls(
+            name=data["name"],
+            config_name=data["config_name"],
+            cycles=data["cycles"],
+            committed_uops=data["committed_uops"],
+            committed_instrs=data["committed_instrs"],
+            report=MultiStageReport.from_dict(report) if report else None,
+            memory_stats=data["memory_stats"],
+            branch_lookups=data["branch_lookups"],
+            branch_mispredicts=data["branch_mispredicts"],
+            wrong_path_uops=data["wrong_path_uops"],
+            wall_seconds=data["wall_seconds"],
+        )
 
     def summary(self) -> dict[str, float]:
         return {

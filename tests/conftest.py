@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config.presets import broadwell, knights_landing, tiny_core
 from repro.isa import decoder as asm
 from repro.isa.instructions import Program
 from repro.workloads.base import DATA_BASE, TraceBuilder
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session temp dir.
+
+    Tests clear and corrupt the cache freely; none of that may touch the
+    developer's real ``results/.cache``.  Set via the environment so pool
+    worker processes (fork and spawn alike) inherit the same location.
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture
