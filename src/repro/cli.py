@@ -11,21 +11,30 @@ Subcommands::
     repro fig5 [--jobs N]                        # IPC vs FLOPS stacks
     repro overhead                               # accounting overhead
     repro cache stats | clear                    # persistent result cache
+    repro failures list | clear                  # persisted failure reports
 
 Experiment subcommands accept ``--jobs`` (default: ``$REPRO_JOBS`` or the
 CPU count) and print a one-line harness summary — cases scheduled, cache
-hits, wall time and simulated uops/sec — after their output.
+hits, wall time and simulated uops/sec — after their output.  They also
+accept the supervision flags ``--case-timeout`` (per-case deadline in
+seconds; default scales with each case's instruction count),
+``--keep-going`` (finish the batch despite failed cases and report them
+instead of aborting) and ``--no-strict`` (downgrade accounting invariant
+violations from errors to warnings).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from repro.config.presets import PRESETS, get_preset
+from repro.core import invariants
 from repro.core.components import FLOPS_COMPONENTS
 from repro.core.wrongpath import WrongPathMode
+from repro.experiments import supervisor
 from repro.experiments.error import figure2_errors, summarize_errors
 from repro.experiments.idealization import FIG3_CASES, fig3_case, table1_rows
 from repro.experiments.flops_study import figure5_case
@@ -114,7 +123,8 @@ def _cmd_presets(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     rows = table1_rows(
-        instructions=args.instructions, seed=args.seed, jobs=args.jobs
+        instructions=args.instructions, seed=args.seed, jobs=args.jobs,
+        keep_going=args.keep_going, case_timeout=args.case_timeout,
     )
     print("Table I: CPI components by idealizing structures")
     print(render_table(rows))
@@ -124,7 +134,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_fig2(args: argparse.Namespace) -> int:
     errors = figure2_errors(
         args.core, instructions=args.instructions, seed=args.seed,
-        jobs=args.jobs,
+        jobs=args.jobs, keep_going=args.keep_going,
+        case_timeout=args.case_timeout,
     )
     print(
         f"Fig. 2 ({args.core.upper()}): error = predicted component - "
@@ -148,7 +159,8 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
     study = fig3_case(
-        args.case, instructions=args.instructions, jobs=args.jobs
+        args.case, instructions=args.instructions, jobs=args.jobs,
+        keep_going=args.keep_going, case_timeout=args.case_timeout,
     )
     report = study.baseline.report
     assert report is not None
@@ -169,7 +181,10 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    case = figure5_case(instructions=args.instructions, jobs=args.jobs)
+    case = figure5_case(
+        instructions=args.instructions, jobs=args.jobs,
+        keep_going=args.keep_going, case_timeout=args.case_timeout,
+    )
     config = get_preset(case.preset)
     max_ipc = float(config.accounting_width)
     for idealized, label in ((False, "baseline"), (True, "perfect Dcache")):
@@ -205,6 +220,8 @@ def _cmd_socket(args: argparse.Namespace) -> int:
         threads=args.threads,
         instructions=args.instructions,
         jobs=args.jobs,
+        keep_going=args.keep_going,
+        case_timeout=args.case_timeout,
     )
     print(
         f"{args.threads}-thread socket of {args.workload} on "
@@ -245,10 +262,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+def _cmd_failures(args: argparse.Namespace) -> int:
+    if args.action == "clear":
+        removed = supervisor.clear_failures()
+        print(
+            f"removed {removed} failure report(s) from "
+            f"{supervisor.failures_dir()}"
+        )
+        return 0
+    records = supervisor.list_failures()
+    if not records:
+        print(f"no failure reports under {supervisor.failures_dir()}")
+        return 0
+    rows = [
+        {
+            "key": record["key"][:12],
+            "case": record.get("label", "?"),
+            "classification": record.get("classification", "?"),
+            "attempts": len(record.get("attempts", [])),
+        }
+        for record in records
+    ]
+    print(render_table(rows))
+    last = records[-1]
+    attempts = last.get("attempts", [])
+    if attempts:
+        print()
+        print(f"last error of {last.get('label', last['key'][:12])}:")
+        print(f"  {attempts[-1].get('error', '?')}")
+    return 0
+
+
+def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every batch-scheduling experiment subcommand."""
     parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: $REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--case-timeout", type=float, default=None, dest="case_timeout",
+        help="per-case deadline in seconds (default: $REPRO_CASE_TIMEOUT "
+             "or scaled from each case's instruction count)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true", dest="keep_going",
+        help="finish the batch despite failed cases; failures are "
+             "persisted for `repro failures list` instead of aborting",
+    )
+    parser.add_argument(
+        "--no-strict", action="store_true", dest="no_strict",
+        help="downgrade accounting invariant violations from errors to "
+             "warnings (violating results are still never disk-cached)",
     )
 
 
@@ -297,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     t1 = sub.add_parser("table1", help="reproduce Table I")
     t1.add_argument("--instructions", type=int, default=None)
     t1.add_argument("--seed", type=int, default=1)
-    _add_jobs_flag(t1)
+    _add_harness_flags(t1)
     t1.set_defaults(func=_cmd_table1)
 
     f2 = sub.add_parser(
@@ -306,18 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
     f2.add_argument("--core", default="bdw", choices=sorted(PRESETS))
     f2.add_argument("--instructions", type=int, default=None)
     f2.add_argument("--seed", type=int, default=1)
-    _add_jobs_flag(f2)
+    _add_harness_flags(f2)
     f2.set_defaults(func=_cmd_fig2)
 
     f3 = sub.add_parser("fig3", help="reproduce a Fig. 3 case study")
     f3.add_argument("--case", default="fig3a", choices=sorted(FIG3_CASES))
     f3.add_argument("--instructions", type=int, default=None)
-    _add_jobs_flag(f3)
+    _add_harness_flags(f3)
     f3.set_defaults(func=_cmd_fig3)
 
     f5 = sub.add_parser("fig5", help="reproduce Fig. 5 (IPC vs FLOPS)")
     f5.add_argument("--instructions", type=int, default=None)
-    _add_jobs_flag(f5)
+    _add_harness_flags(f5)
     f5.set_defaults(func=_cmd_fig5)
 
     sk = sub.add_parser(
@@ -328,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     sk.add_argument("--core", default="skx", choices=sorted(PRESETS))
     sk.add_argument("--threads", type=int, default=4)
     sk.add_argument("--instructions", type=int, default=None)
-    _add_jobs_flag(sk)
+    _add_harness_flags(sk)
     sk.set_defaults(func=_cmd_socket)
 
     ca = sub.add_parser(
@@ -344,17 +408,34 @@ def build_parser() -> argparse.ArgumentParser:
     ov.add_argument("--instructions", type=int, default=None)
     ov.set_defaults(func=_cmd_overhead)
 
+    fl = sub.add_parser(
+        "failures", help="inspect or clear persisted batch failure reports"
+    )
+    fl.add_argument("action", choices=("list", "clear"),
+                    help="show failed cases with attempt histories, or "
+                         "delete all records")
+    fl.set_defaults(func=_cmd_failures)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "no_strict", False):
+        # Both the in-process guard and (via the env var, which pool
+        # workers inherit) every worker's guard.
+        invariants.set_strict(False)
+        os.environ[invariants.ENV_STRICT] = "0"
     # Experiment subcommands (the ones with --jobs) get a harness summary
     # line covering every batch the command scheduled.
     harnessed = hasattr(args, "jobs")
     mark = telemetry_mark() if harnessed else None
-    rc = args.func(args)
+    try:
+        rc = args.func(args)
+    except (supervisor.BatchFailure, supervisor.IncompleteBatch) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        rc = 1
     if mark is not None:
         print()
         print(summarize_since(mark))

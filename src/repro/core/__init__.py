@@ -11,6 +11,11 @@ This package implements, independently of the pipeline substrate:
 * width normalization with carry (:mod:`repro.core.width`),
 * wrong-path discernment strategies (:mod:`repro.core.wrongpath`), and
 * the multi-stage collector and bounds analysis (:mod:`repro.core.multistage`).
+
+:mod:`repro.core.invariants` guards those accounting identities at
+runtime: every harness result is checked (stacks sum to cycles, stages
+agree, FLOPS stack sums to the slot budget, serialization round-trips)
+before it is returned or cached.
 """
 
 from repro.core.commit import CommitAccountant
@@ -22,6 +27,13 @@ from repro.core.components import (
 )
 from repro.core.dispatch import DispatchAccountant
 from repro.core.flops import FlopsAccountant
+from repro.core.invariants import (
+    InvariantGuard,
+    InvariantViolation,
+    Violation,
+    check_result,
+    verify_result,
+)
 from repro.core.issue import IssueAccountant
 from repro.core.multistage import MultiStageCollector, MultiStageReport, Stage
 from repro.core.roofline import RooflinePoint, roofline_point
@@ -44,6 +56,8 @@ __all__ = [
     "FlopsAccountant",
     "FlopsComponent",
     "FlopsStack",
+    "InvariantGuard",
+    "InvariantViolation",
     "IssueAccountant",
     "MultiStageCollector",
     "MultiStageReport",
@@ -54,8 +68,11 @@ __all__ = [
     "TopDownAccountant",
     "TopDownReport",
     "TopLevel",
+    "Violation",
     "WidthNormalizer",
     "WrongPathMode",
     "average_stacks",
+    "check_result",
     "roofline_point",
+    "verify_result",
 ]

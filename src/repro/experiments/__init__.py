@@ -6,6 +6,9 @@
   the on-disk result store.
 * :mod:`repro.experiments.parallel` — the batch scheduler dispatching
   case lists across worker processes.
+* :mod:`repro.experiments.supervisor` — worker supervision: per-case
+  deadlines, bounded retries, pool rebuild / serial fallback, persisted
+  failure reports and deterministic fault injection.
 * :mod:`repro.experiments.idealization` — CPI deltas from perfected
   structures (Table I, Fig. 3 case studies).
 * :mod:`repro.experiments.error` — per-component error distributions for
@@ -35,11 +38,20 @@ from repro.experiments.idealization import (
 from repro.experiments.overhead import measure_overhead
 from repro.experiments.parallel import resolve_jobs, run_cases
 from repro.experiments.runner import clear_cache, run_case
+from repro.experiments.supervisor import (
+    BatchFailure,
+    FailureReport,
+    IncompleteBatch,
+    run_supervised,
+)
 
 __all__ = [
+    "BatchFailure",
     "CaseSpec",
     "ComponentError",
+    "FailureReport",
     "IdealizationStudy",
+    "IncompleteBatch",
     "clear_cache",
     "fig3_case",
     "figure2_errors",
@@ -50,6 +62,7 @@ __all__ = [
     "run_case",
     "run_cases",
     "run_study",
+    "run_supervised",
     "summarize_errors",
     "table1_rows",
 ]

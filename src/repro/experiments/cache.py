@@ -28,10 +28,12 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.config.cores import CoreConfig
+from repro.core import invariants
 from repro.config.idealize import Idealization
 from repro.config.presets import get_preset
 from repro.core.wrongpath import WrongPathMode
@@ -204,12 +206,23 @@ class DiskCache:
                 or payload.get("schema") != ACCOUNTING_SCHEMA_VERSION
             ):
                 raise ValueError("stale or malformed cache entry")
-            return SimResult.from_dict(payload["result"])
+            result = SimResult.from_dict(payload["result"])
+            violations = invariants.check_result(result)
+            if violations:
+                # An entry that decodes but breaks the accounting
+                # identities (poisoned by an older bug or by bit rot) is
+                # just as unusable as a truncated one: self-heal by
+                # evicting and recomputing.
+                raise ValueError(
+                    f"cache entry violates invariants: {violations[0]}"
+                )
+            return result
         except FileNotFoundError:
             return None
         except Exception:
-            # Truncated pickle, stale schema, unreadable file: a cache must
-            # degrade to a miss, never crash the experiment.
+            # Truncated pickle, stale schema, unreadable file, invariant
+            # violation: a cache must degrade to a miss, never crash the
+            # experiment.
             TELEMETRY.corrupt_entries += 1
             try:
                 path.unlink()
@@ -232,10 +245,39 @@ class DiskCache:
             os.replace(tmp, path)
         except OSError:
             # A read-only cache directory degrades to write-through misses.
+            pass
+        finally:
+            # The temp file must not survive ANY exit path — including
+            # interrupts and non-OSError failures mid-pickle.  After a
+            # successful rename the unlink is a no-op FileNotFoundError.
             try:
                 tmp.unlink()
             except OSError:
                 pass
+
+    def purge_tmp(self, *, max_age_seconds: float = 0.0) -> int:
+        """Sweep stale ``*.tmp<pid>`` files left behind by killed writers.
+
+        With ``max_age_seconds`` > 0 only files older than that are
+        removed (so a concurrent writer's in-flight temp file survives).
+        Returns how many were deleted.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        now = time.time()
+        for path in self.root.glob("??/*.pkl.tmp*"):
+            try:
+                if (
+                    max_age_seconds > 0
+                    and now - path.stat().st_mtime < max_age_seconds
+                ):
+                    continue
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def entries(self) -> list[Path]:
         if not self.root.is_dir():
@@ -251,6 +293,7 @@ class DiskCache:
                 removed += 1
             except OSError:
                 pass
+        self.purge_tmp()
         if self.root.is_dir():
             for shard in self.root.glob("??"):
                 try:

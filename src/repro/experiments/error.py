@@ -64,12 +64,16 @@ def figure2_errors(
     seed: int = 1,
     threshold: float = SIGNIFICANCE_THRESHOLD,
     jobs: int | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
 ) -> dict[Component, list[ComponentError]]:
     """Collect Fig. 2 error data points for one machine preset.
 
     Two batch rounds through the parallel harness: every baseline first
     (the significance filter needs their stacks), then every surviving
-    (workload, component) idealized rerun at once.
+    (workload, component) idealized rerun at once.  With ``keep_going``
+    failed cases are skipped (the workload simply contributes no data
+    point) instead of aborting the figure.
     """
     out: dict[Component, list[ComponentError]] = {c: [] for c in components}
     baselines = run_cases(
@@ -83,11 +87,15 @@ def figure2_errors(
             for workload in workloads
         ],
         jobs=jobs,
+        keep_going=keep_going,
+        case_timeout=case_timeout,
     )
     # Apply the paper's inclusion filter to declare the idealized sweep.
     selected: list[tuple[str, Component, SimResult]] = []
     ideal_specs: list[CaseSpec] = []
     for workload, baseline in zip(workloads, baselines):
+        if baseline is None:  # failed under keep_going: no data point
+            continue
         report = baseline.report
         assert report is not None
         cpi = baseline.cpi
@@ -112,10 +120,15 @@ def figure2_errors(
                     seed=seed,
                 )
             )
-    idealized_results = run_cases(ideal_specs, jobs=jobs)
+    idealized_results = run_cases(
+        ideal_specs, jobs=jobs, keep_going=keep_going,
+        case_timeout=case_timeout,
+    )
     for (workload, component, baseline), idealized in zip(
         selected, idealized_results
     ):
+        if idealized is None:  # failed under keep_going: no data point
+            continue
         report = baseline.report
         assert report is not None
         actual = baseline.cpi - idealized.cpi

@@ -23,6 +23,7 @@ from repro.core.components import (
 )
 from repro.experiments.cache import CaseSpec
 from repro.experiments.parallel import run_cases
+from repro.experiments.supervisor import IncompleteBatch
 from repro.pipeline.result import SimResult
 from repro.workloads.deepbench import conv_configs, sgemm_configs
 
@@ -101,11 +102,15 @@ def figure4_differences(
     instructions: int | None = None,
     seed: int = 1,
     jobs: int | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
 ) -> dict[tuple[str, str], dict[FlopsComponent, float]]:
     """Average per-component stack differences per (group, preset).
 
     "We average all differences per set of benchmarks."  The full kernel
-    matrix (every group on every machine) is declared as one batch.
+    matrix (every group on every machine) is declared as one batch.  With
+    ``keep_going`` failed kernels drop out of their group's average (a
+    group whose kernels all failed is omitted entirely).
     """
     cells = [
         (group, preset, _group_workloads(group, preset))
@@ -120,16 +125,27 @@ def figure4_differences(
         for group, preset, names in cells
         for name in names
     ]
-    results = iter(run_cases(specs, jobs=jobs))
+    results = iter(
+        run_cases(
+            specs, jobs=jobs, keep_going=keep_going,
+            case_timeout=case_timeout,
+        )
+    )
     out: dict[tuple[str, str], dict[FlopsComponent, float]] = {}
     for group, preset, names in cells:
         acc = {comp: 0.0 for comp in _FIG4_MAP}
+        contributing = 0
         for _name in names:
             result = next(results)
+            if result is None:  # failed under keep_going
+                continue
+            contributing += 1
             for comp, value in stack_difference(result).items():
                 acc[comp] += value
+        if contributing == 0:
+            continue
         out[(group, preset)] = {
-            comp: value / len(names) for comp, value in acc.items()
+            comp: value / contributing for comp, value in acc.items()
         }
     return out
 
@@ -169,6 +185,8 @@ def figure5_case(
     instructions: int | None = None,
     seed: int = 1,
     jobs: int | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
 ) -> Figure5Case:
     """Run the Fig. 5 experiment: one conv fwd config on SKX."""
     baseline, ideal = run_cases(
@@ -184,7 +202,15 @@ def figure5_case(
             ),
         ],
         jobs=jobs,
+        keep_going=keep_going,
+        case_timeout=case_timeout,
     )
+    if baseline is None or ideal is None:
+        raise IncompleteBatch(
+            f"figure5 case {workload}@{preset} incomplete: "
+            f"{'baseline' if baseline is None else 'perfect-dcache'} run "
+            "failed; see `repro failures list`"
+        )
     return Figure5Case(workload, preset, baseline, ideal)
 
 

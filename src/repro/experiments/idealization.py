@@ -20,6 +20,7 @@ from repro.config.idealize import (
 from repro.core.components import Component
 from repro.experiments.cache import CaseSpec
 from repro.experiments.parallel import run_cases
+from repro.experiments.supervisor import IncompleteBatch
 from repro.pipeline.result import SimResult
 
 
@@ -75,11 +76,24 @@ def assemble_study(
     workload: str,
     preset: str,
     idealizations: tuple[Idealization, ...],
-    results: list[SimResult],
+    results: list[SimResult | None],
 ) -> IdealizationStudy:
-    """Pair ``study_specs`` results back into an :class:`IdealizationStudy`."""
+    """Pair ``study_specs`` results back into an :class:`IdealizationStudy`.
+
+    Tolerates ``None`` slots from a ``keep_going`` batch for idealized
+    runs (they are simply absent from :attr:`IdealizationStudy.idealized`)
+    — but a study without its baseline is meaningless and raises
+    :class:`~repro.experiments.supervisor.IncompleteBatch`.
+    """
+    if results[0] is None:
+        raise IncompleteBatch(
+            f"baseline case for {workload}@{preset} failed; "
+            "see `repro failures list`"
+        )
     study = IdealizationStudy(workload, preset, results[0])
     for ideal, result in zip(idealizations, results[1:]):
+        if result is None:  # failed under keep_going: omit this column
+            continue
         study.idealized[ideal.name] = result
     return study
 
@@ -92,18 +106,23 @@ def run_study(
     instructions: int | None = None,
     seed: int = 1,
     jobs: int | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
 ) -> IdealizationStudy:
     """Simulate baseline plus each idealization of one workload."""
     specs = study_specs(
         workload, preset, idealizations, instructions=instructions, seed=seed
     )
-    results = run_cases(specs, jobs=jobs)
+    results = run_cases(
+        specs, jobs=jobs, keep_going=keep_going, case_timeout=case_timeout
+    )
     return assemble_study(workload, preset, idealizations, results)
 
 
 def table1_rows(
     *, instructions: int | None = None, seed: int = 1,
-    jobs: int | None = None,
+    jobs: int | None = None, keep_going: bool = False,
+    case_timeout: float | None = None,
 ) -> list[dict[str, object]]:
     """Reproduce Table I: hidden and overlapping stalls for mcf.
 
@@ -127,14 +146,21 @@ def table1_rows(
                 "mcf", preset, ideals, instructions=instructions, seed=seed
             )
         )
-    results = run_cases(specs, jobs=jobs)
+    results = run_cases(
+        specs, jobs=jobs, keep_going=keep_going, case_timeout=case_timeout
+    )
     cursor = 0
     for preset, ideals in cases:
         count = 1 + len(ideals)
-        study = assemble_study(
-            "mcf", preset, ideals, results[cursor:cursor + count]
-        )
+        group = results[cursor:cursor + count]
         cursor += count
+        if group[0] is None:
+            # Only reachable under keep_going (otherwise run_cases raised
+            # BatchFailure): without its baseline the whole machine's
+            # group is meaningless, so omit those rows like any other
+            # failed slot.
+            continue
+        study = assemble_study("mcf", preset, ideals, group)
         rows.append(
             {
                 "app": f"mcf on {preset.upper()}",
@@ -144,7 +170,9 @@ def table1_rows(
             }
         )
         for ideal in ideals:
-            result = study.idealized[ideal.name]
+            result = study.idealized.get(ideal.name)
+            if result is None:  # failed under keep_going: omit the row
+                continue
             rows.append(
                 {
                     "app": f"mcf on {preset.upper()}",
@@ -168,7 +196,8 @@ FIG3_CASES: dict[str, tuple[str, str, tuple[Idealization, ...]]] = {
 
 def fig3_case(
     case: str, *, instructions: int | None = None, seed: int = 1,
-    jobs: int | None = None,
+    jobs: int | None = None, keep_going: bool = False,
+    case_timeout: float | None = None,
 ) -> IdealizationStudy:
     """Run one Fig. 3 case study by id (fig3a .. fig3e)."""
     try:
@@ -179,7 +208,7 @@ def fig3_case(
         ) from None
     return run_study(
         workload, preset, ideals, instructions=instructions, seed=seed,
-        jobs=jobs,
+        jobs=jobs, keep_going=keep_going, case_timeout=case_timeout,
     )
 
 

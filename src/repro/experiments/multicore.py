@@ -25,6 +25,7 @@ from repro.core.stack import (
 )
 from repro.experiments.cache import CaseSpec
 from repro.experiments.parallel import run_cases
+from repro.experiments.supervisor import IncompleteBatch
 from repro.pipeline.result import SimResult
 
 
@@ -72,6 +73,8 @@ def simulate_socket(
     warmup_fraction: float = 0.3,
     base_seed: int = 1,
     jobs: int | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
 ) -> SocketResult:
     """Simulate ``threads`` homogeneous instances and aggregate.
 
@@ -79,7 +82,9 @@ def simulate_socket(
     flow and addresses within the same kernel structure), modelling the
     per-thread tiles of a parallel HPC kernel.  The threads are fully
     independent, so they are declared as one batch and scheduled across
-    worker processes like any other case list.
+    worker processes like any other case list.  A socket aggregate over a
+    *subset* of its threads would be silently wrong, so even under
+    ``keep_going`` a missing thread raises.
     """
     if threads < 1:
         raise ValueError("a socket needs at least one thread")
@@ -94,7 +99,16 @@ def simulate_socket(
         )
         for thread in range(threads)
     ]
-    results: list[SimResult] = run_cases(specs, jobs=jobs)
+    maybe_results = run_cases(
+        specs, jobs=jobs, keep_going=keep_going, case_timeout=case_timeout
+    )
+    missing = [i for i, r in enumerate(maybe_results) if r is None]
+    if missing:
+        raise IncompleteBatch(
+            f"socket aggregate for {workload} needs all {threads} threads; "
+            f"thread(s) {missing} failed — see `repro failures list`"
+        )
+    results: list[SimResult] = maybe_results
     reports = [r.report for r in results]
     assert all(rep is not None for rep in reports)
     dispatch = average_stacks([rep.dispatch for rep in reports])

@@ -9,32 +9,41 @@ experiment modules declare their full case list to:
    in-flight entry (a Fig. 2 sweep requests each baseline many times);
 2. the cache hierarchy (in-process memo, then the persistent disk cache)
    is consulted per unique key;
-3. remaining misses are dispatched to a ``ProcessPoolExecutor``
-   (``jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``); with
-   ``jobs=1`` everything runs in-process, which is the deterministic
-   serial baseline;
+3. remaining misses are dispatched under **supervision**
+   (:mod:`repro.experiments.supervisor`): per-case deadlines, bounded
+   retries, pool rebuild on worker death with serial fallback, and
+   persisted :class:`~repro.experiments.supervisor.FailureReport` records
+   for cases that never recover.  ``jobs`` argument > ``REPRO_JOBS`` env
+   > ``os.cpu_count()``; with ``jobs=1`` everything runs in-process,
+   which is the deterministic serial baseline;
 4. results are collected in submission order (never completion order),
-   round-tripped through ``SimResult.to_dict``, published to both cache
-   levels, and returned in the caller's original spec order — so a
-   parallel run is bit-identical to a serial one.
+   round-tripped through ``SimResult.to_dict``, checked by the runtime
+   invariant guard, published to both cache levels, and returned in the
+   caller's original spec order — so a parallel run is bit-identical to
+   a serial one.
+
+A batch with unrecovered failures raises
+:class:`~repro.experiments.supervisor.BatchFailure` by default; with
+``keep_going=True`` it instead returns partial results (``None`` in the
+failed slots) so a long sweep survives individual bad cases.
 
 Observability: each batch leaves a :class:`BatchStats` in
-:data:`LAST_BATCH` with wall time, per-level hit counts and simulated
-uops/sec; experiments print its ``summary()`` line and ``repro cache
-stats`` exposes the process-wide counters.
+:data:`LAST_BATCH` with wall time, per-level hit counts, supervision
+counters (retries/timeouts/pool rebuilds) and simulated uops/sec;
+experiments print its ``summary()`` line and ``repro cache stats``
+exposes the process-wide counters.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.experiments import runner
+from repro.experiments import runner, supervisor
 from repro.experiments.cache import TELEMETRY, CaseSpec
+from repro.experiments.supervisor import BatchFailure, FailureReport
 from repro.pipeline.result import SimResult
 
 #: Environment variable overriding the default worker count.
@@ -42,10 +51,17 @@ ENV_JOBS = "REPRO_JOBS"
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Worker count: explicit argument, else ``$REPRO_JOBS``, else CPUs."""
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else CPUs.
+
+    A zero or negative count is a configuration error and raises
+    ``ValueError`` — silently clamping it to 1 used to hide typos like
+    ``--jobs 0`` behind an unexpectedly serial run.
+    """
+    source = "jobs"
     if jobs is None:
         env = os.environ.get(ENV_JOBS)
         if env:
+            source = ENV_JOBS
             try:
                 jobs = int(env)
             except ValueError:
@@ -53,8 +69,10 @@ def resolve_jobs(jobs: int | None = None) -> int:
                     f"{ENV_JOBS} must be an integer, got {env!r}"
                 ) from None
     if jobs is None:
-        jobs = os.cpu_count() or 1
-    return max(1, jobs)
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"{source} must be a positive integer, got {jobs}")
+    return jobs
 
 
 @dataclass(slots=True)
@@ -72,6 +90,14 @@ class BatchStats:
     uops_simulated: int = 0
     #: (case label, simulator wall seconds) for each case simulated here.
     case_seconds: list[tuple[str, float]] = field(default_factory=list)
+    #: Supervision counters (all zero on a healthy batch).
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback: bool = False
+    #: Per-key report for every case given up on this batch.
+    failure_reports: dict[str, FailureReport] = field(default_factory=dict)
 
     @property
     def uops_per_second(self) -> float:
@@ -81,28 +107,31 @@ class BatchStats:
 
     def summary(self) -> str:
         rate = self.uops_per_second
-        return (
+        line = (
             f"[harness] {self.cases} cases ({self.unique} unique): "
             f"{self.simulated} simulated, {self.memo_hits} memo hits, "
             f"{self.disk_hits} disk hits | jobs={self.jobs} "
             f"wall={self.wall_seconds:.2f}s sim={self.sim_seconds:.2f}s "
             f"({rate / 1e3:.0f}k uops/s)"
         )
+        extras = []
+        if self.retries:
+            extras.append(f"{self.retries} retries")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timeouts")
+        if self.pool_rebuilds:
+            extras.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.serial_fallback:
+            extras.append("serial fallback")
+        if self.failures:
+            extras.append(f"{self.failures} FAILED")
+        if extras:
+            line += " | " + ", ".join(extras)
+        return line
 
 
 #: Stats of the most recent batch (experiments print its summary line).
 LAST_BATCH: BatchStats | None = None
-
-
-def _worker(spec: CaseSpec) -> dict:
-    """Pool worker: simulate one case and ship the serialized result.
-
-    The result crosses the process boundary as a ``to_dict`` payload so
-    the transport exercises exactly the same (schema-versioned) round
-    trip as the disk cache — fields can't silently diverge between the
-    serial and parallel paths.
-    """
-    return runner.execute_spec(spec).to_dict()
 
 
 def run_cases(
@@ -111,13 +140,26 @@ def run_cases(
     jobs: int | None = None,
     use_cache: bool = True,
     mp_start_method: str | None = None,
-) -> list[SimResult]:
+    keep_going: bool = False,
+    case_timeout: float | None = None,
+    max_attempts: int | None = None,
+    retry_backoff: float | None = None,
+) -> list[SimResult | None]:
     """Resolve a batch of case specs, in parallel where possible.
 
     Returns one :class:`SimResult` per input spec, in input order.
     Duplicate specs are deduplicated in flight and share one result
     object.  ``mp_start_method`` forces a multiprocessing start method
     ("fork"/"spawn") for the pool — mainly for the determinism tests.
+
+    Per-case failures (crashes, hangs past the deadline, invariant
+    violations, corrupt payloads) are retried up to ``max_attempts``
+    times; cases that never recover are persisted as failure reports
+    (``repro failures list``).  With ``keep_going=False`` (default) any
+    unrecovered failure raises :class:`BatchFailure` after the rest of
+    the batch completes; with ``keep_going=True`` failed slots come back
+    as ``None`` instead.  ``case_timeout`` overrides the per-case
+    deadline otherwise scaled from each spec's instruction count.
     """
     spec_list: Sequence[CaseSpec] = list(specs)
     jobs = resolve_jobs(jobs)
@@ -138,39 +180,23 @@ def run_cases(
                 continue
         pending[key] = spec
 
+    outcome = supervisor.SupervisionOutcome()
     if pending:
-        items = list(pending.items())
-        if jobs == 1 or len(items) == 1:
-            for key, spec in items:
-                result = runner.execute_spec(spec)
-                if use_cache:
-                    runner.store_result(key, spec, result)
-                results[key] = result
-        else:
-            context = None
-            if mp_start_method is not None:
-                context = multiprocessing.get_context(mp_start_method)
-            workers = min(jobs, len(items))
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                submitted = [
-                    (key, spec, pool.submit(_worker, spec))
-                    for key, spec in items
-                ]
-                # Deterministic collection: submission order, not
-                # completion order.
-                for key, spec, future in submitted:
-                    result = SimResult.from_dict(future.result())
-                    TELEMETRY.record_simulation(spec.label(), result)
-                    if use_cache:
-                        runner.store_result(key, spec, result)
-                    results[key] = result
+        outcome = supervisor.run_supervised(
+            list(pending.items()),
+            jobs=jobs,
+            mp_start_method=mp_start_method,
+            use_cache=use_cache,
+            case_timeout=case_timeout,
+            max_attempts=max_attempts,
+            retry_backoff=retry_backoff,
+        )
+        results.update(outcome.results)
 
     after = TELEMETRY.counters()
     stats = BatchStats(
         cases=len(spec_list),
-        unique=len(results),
+        unique=len(set(keys)),
         jobs=jobs,
         memo_hits=int(after["memo_hits"] - before["memo_hits"]),
         disk_hits=int(after["disk_hits"] - before["disk_hits"]),
@@ -183,10 +209,18 @@ def run_cases(
             after["uops_simulated"] - before["uops_simulated"]
         ),
         case_seconds=list(TELEMETRY.case_seconds[sims_before:]),
+        failures=len(outcome.failures),
+        retries=outcome.retries,
+        timeouts=outcome.timeouts,
+        pool_rebuilds=outcome.pool_rebuilds,
+        serial_fallback=outcome.serial_fallback,
+        failure_reports=dict(outcome.failures),
     )
     global LAST_BATCH
     LAST_BATCH = stats
-    return [results[key] for key in keys]
+    if outcome.failures and not keep_going:
+        raise BatchFailure(outcome.failures)
+    return [results.get(key) for key in keys]
 
 
 def last_batch_summary() -> str | None:

@@ -18,6 +18,7 @@ many cases across worker processes, see :mod:`repro.experiments.parallel`.
 from __future__ import annotations
 
 from repro.config.idealize import Idealization
+from repro.core import invariants
 from repro.core.wrongpath import WrongPathMode
 from repro.experiments.cache import (
     DEFAULT_WARMUP_FRACTION,
@@ -69,7 +70,13 @@ def get_trace(name: str, instructions: int | None, seed: int) -> Program:
 
 
 def execute_spec(spec: CaseSpec) -> SimResult:
-    """Simulate one case unconditionally (no cache consultation)."""
+    """Simulate one case unconditionally (no cache consultation).
+
+    Every fresh result passes the runtime invariant guard before it is
+    returned: in strict mode (the default) a violating result raises
+    :class:`repro.core.invariants.InvariantViolation` instead of flowing
+    into reports or caches.
+    """
     trace = get_trace(spec.workload, spec.instructions, spec.seed)
     config = spec.resolved_config()
     warmup = int(len(trace) * spec.warmup_fraction)
@@ -81,6 +88,7 @@ def execute_spec(spec: CaseSpec) -> SimResult:
         seed=spec.simulate_seed,
     )
     TELEMETRY.record_simulation(spec.label(), result)
+    invariants.verify_result(result, context=spec.label())
     return result
 
 
@@ -100,8 +108,18 @@ def lookup_cached(key: str) -> SimResult | None:
 
 
 def store_result(key: str, spec: CaseSpec, result: SimResult) -> None:
-    """Publish a freshly simulated result to the memo and the disk cache."""
+    """Publish a freshly simulated result to the memo and the disk cache.
+
+    The invariant guard gates the persistent store: in strict mode a
+    violating result raises before anything is published; in non-strict
+    mode it is kept in the in-process memo (with a recorded warning) but
+    is never written to the disk cache, so a wrong counter cannot poison
+    later sessions.
+    """
+    violations = invariants.verify_result(result, context=spec.label())
     _result_cache[key] = result
+    if violations:
+        return
     get_disk_cache().put(key, spec.fingerprint(), result)
 
 

@@ -1,0 +1,698 @@
+"""Supervised execution of case batches: deadlines, retries, fault reports.
+
+PR 1's scheduler had no failure story: one crashed or hung worker raised
+out of ``future.result()`` and discarded the entire batch.  Sensitivity
+sweeps in the style of Pompougnac/Dutilleul et al. run hundreds of
+perturbed simulations per figure; at that scale individual failures are
+routine and a batch must survive them.  This module wraps every case in a
+**supervised attempt**:
+
+* a per-case deadline, scaled from the spec's instruction count
+  (override with ``case_timeout=`` / ``--case-timeout`` /
+  ``$REPRO_CASE_TIMEOUT``);
+* bounded retries with exponential backoff for transient failures
+  (crashes, timeouts, corrupt payloads, invariant violations);
+* automatic pool rebuild when the ``ProcessPoolExecutor`` breaks
+  (a worker died hard), and graceful degradation to in-process serial
+  execution once it has broken :data:`POOL_BREAK_LIMIT` times;
+* per-case classification — ``crash`` / ``timeout`` / ``invariant`` /
+  ``corrupt-payload`` — collected into a :class:`FailureReport` and
+  persisted as ``results/failures/<key>.json`` so a later run can
+  re-attempt exactly the failed cases (successes delete their stale
+  record);
+* a ``KeyboardInterrupt`` anywhere in the batch cancels pending futures
+  and reaps the pool instead of stranding orphan workers.
+
+Every supervision path is exercised by tests through a **deterministic
+fault-injection hook**: set :data:`fault_plan` (monkeypatchable) or
+``$REPRO_FAULT_PLAN`` (JSON) to make chosen cases crash, abort the worker
+process, hang, or return corrupted payloads for their first N attempts.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core import invariants
+from repro.experiments import runner
+from repro.experiments.cache import TELEMETRY, CaseSpec
+from repro.pipeline.result import SimResult
+
+#: Environment variable: one deadline (seconds) for every case.
+ENV_CASE_TIMEOUT = "REPRO_CASE_TIMEOUT"
+#: Environment variable: JSON fault plan (see :func:`get_fault_plan`).
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+#: Environment variable overriding the failure-report directory.
+ENV_FAILURES_DIR = "REPRO_FAILURES_DIR"
+
+#: Total attempts per case (first try + retries).
+DEFAULT_MAX_ATTEMPTS = 3
+#: Backoff before retry round r: ``DEFAULT_BACKOFF * 2**(r-1)``, capped.
+DEFAULT_BACKOFF = 0.1
+BACKOFF_CAP = 2.0
+#: After this many ``BrokenProcessPool`` events the batch goes serial.
+POOL_BREAK_LIMIT = 2
+
+#: Deadline scaling: BASE + PER_INSTRUCTION * instruction count.
+BASE_DEADLINE_SECONDS = 20.0
+PER_INSTRUCTION_SECONDS = 0.002
+FALLBACK_INSTRUCTIONS = 100_000
+
+#: Schema of the persisted failure records.
+FAILURE_SCHEMA = 1
+
+#: Deterministic fault plan (tests monkeypatch this; ``None`` defers to
+#: ``$REPRO_FAULT_PLAN``).  Mapping of case matcher -> fault dict:
+#: ``{"mcf@tiny": {"kind": "crash", "times": 1}}``.  A matcher is a case
+#: label, a >= 8 char prefix of the case key, or ``"*"`` (every case).
+#: Kinds: ``crash`` (raise), ``abort`` (kill the worker process),
+#: ``hang`` (sleep ``seconds``, default 30), ``interrupt``
+#: (KeyboardInterrupt), ``corrupt`` (ship a damaged payload; ``style`` in
+#: {"cycles", "schema", "garbage"}).  ``times`` (default 1) faults the
+#: first N attempts only, so retries can be seen to recover.
+fault_plan: dict | None = None
+
+
+class FaultInjected(RuntimeError):
+    """Deterministic fault raised by the injection hook."""
+
+
+class CorruptPayload(RuntimeError):
+    """A worker shipped a payload that cannot be decoded into a result."""
+
+
+class CaseDeadlineExceeded(TimeoutError):
+    """An in-process case ran past its deadline (SIGALRM path)."""
+
+
+class BatchFailure(RuntimeError):
+    """A batch ended with unrecovered case failures (``keep_going=False``).
+
+    Carries the per-key :class:`FailureReport` mapping; the same reports
+    are persisted under :func:`failures_dir` before this is raised.
+    """
+
+    def __init__(self, failures: dict[str, "FailureReport"]) -> None:
+        self.failures = dict(failures)
+        shown = list(self.failures.values())[:5]
+        summary = ", ".join(
+            f"{r.label} ({r.classification})" for r in shown
+        )
+        if len(self.failures) > len(shown):
+            summary += ", ..."
+        super().__init__(
+            f"{len(self.failures)} case(s) failed after supervision: "
+            f"{summary}; reports persisted under {failures_dir()} "
+            "(see `repro failures list`; rerun with keep_going=True / "
+            "--keep-going for partial results)"
+        )
+
+
+class IncompleteBatch(RuntimeError):
+    """A ``keep_going`` batch left a hole this experiment cannot tolerate.
+
+    Partial batches drop failed cases from reports and figures, but some
+    results are meaningless without specific cases (a study without its
+    baseline, a socket aggregate missing a thread).  Experiments raise
+    this instead of returning a silently-wrong artifact; the failed
+    cases' reports are already persisted under :func:`failures_dir`.
+    """
+
+
+@dataclass(slots=True)
+class Attempt:
+    """One supervised try of one case."""
+
+    attempt: int
+    classification: str
+    error: str
+    elapsed_seconds: float
+    executor: str  # "pool" or "serial"
+
+
+@dataclass(slots=True)
+class FailureReport:
+    """Why one case was given up on, with its full attempt history."""
+
+    key: str
+    label: str
+    classification: str
+    attempts: list[Attempt] = field(default_factory=list)
+    spec: dict = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": FAILURE_SCHEMA,
+            "key": self.key,
+            "label": self.label,
+            "classification": self.classification,
+            "attempts": [asdict(a) for a in self.attempts],
+            "spec": self.spec,
+            "saved_unix": time.time(),
+        }
+
+
+@dataclass(slots=True)
+class SupervisionOutcome:
+    """What :func:`run_supervised` resolved and what it gave up on."""
+
+    results: dict[str, SimResult] = field(default_factory=dict)
+    failures: dict[str, FailureReport] = field(default_factory=dict)
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback: bool = False
+
+
+# ---------------------------------------------------------------------------
+# failure-report store (results/failures/<key>.json)
+
+
+def failures_dir() -> Path:
+    """Failure-record root: ``$REPRO_FAILURES_DIR`` or ``results/failures``."""
+    env = os.environ.get(ENV_FAILURES_DIR)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results" / "failures"
+
+
+def failure_path(key: str) -> Path:
+    return failures_dir() / f"{key}.json"
+
+
+def save_failure(report: FailureReport) -> None:
+    """Persist one report atomically (rename over any older record)."""
+    path = failure_path(report.key)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(report.to_json_dict(), indent=2))
+        os.replace(tmp, path)
+    except OSError:
+        pass
+    finally:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+
+
+def load_failure(key: str) -> dict | None:
+    """The persisted record for one case key, or ``None``."""
+    try:
+        return json.loads(failure_path(key).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def list_failures() -> list[dict]:
+    """Every readable failure record, sorted by label then key."""
+    root = failures_dir()
+    if not root.is_dir():
+        return []
+    records = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if isinstance(record, dict) and "key" in record:
+            records.append(record)
+    return sorted(records, key=lambda r: (r.get("label", ""), r["key"]))
+
+
+def failed_keys() -> set[str]:
+    """Case keys with a persisted failure record (for targeted reruns)."""
+    return {record["key"] for record in list_failures()}
+
+
+def discard_failure(key: str) -> None:
+    """Drop the stale record for a case that has since succeeded."""
+    try:
+        failure_path(key).unlink()
+    except OSError:
+        pass
+
+
+def clear_failures() -> int:
+    """Delete every failure record; returns how many were removed."""
+    root = failures_dir()
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for path in root.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# deterministic fault injection
+
+
+def get_fault_plan() -> dict | None:
+    """The active fault plan: module override, else ``$REPRO_FAULT_PLAN``."""
+    if fault_plan is not None:
+        return fault_plan
+    env = os.environ.get(ENV_FAULT_PLAN)
+    if not env:
+        return None
+    try:
+        plan = json.loads(env)
+    except ValueError as exc:
+        raise ValueError(
+            f"{ENV_FAULT_PLAN} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(plan, dict):
+        raise ValueError(f"{ENV_FAULT_PLAN} must be a JSON object")
+    return plan
+
+
+def _fault_for(plan: dict | None, spec: CaseSpec, attempt: int) -> dict | None:
+    """The fault entry that applies to this (case, attempt), if any."""
+    if not plan:
+        return None
+    label = spec.label()
+    key = spec.key()
+    for matcher, fault in plan.items():
+        if matcher == "*" or matcher == label or (
+            len(matcher) >= 8 and key.startswith(matcher)
+        ):
+            if attempt < int(fault.get("times", 1)):
+                return fault
+    return None
+
+
+def _corrupt_payload(payload: dict, style: str):
+    """Damage a result payload the way a buggy worker or transport would."""
+    if style == "garbage":
+        return b"\x00not a result payload\x00"
+    damaged = dict(payload)
+    if style == "schema":
+        damaged["schema"] = -999
+    else:  # "cycles": breaks every stack-total identity
+        damaged["cycles"] = int(damaged["cycles"]) * 2 + 9973
+    return damaged
+
+
+def _trigger_fault(fault: dict, *, in_pool: bool) -> None:
+    """Run the pre-execution part of a fault (corrupt is post-execution)."""
+    kind = fault.get("kind")
+    if kind == "crash":
+        raise FaultInjected("injected crash")
+    if kind == "interrupt":
+        raise KeyboardInterrupt
+    if kind == "abort":
+        if in_pool:
+            os._exit(70)  # hard worker death -> BrokenProcessPool
+        raise FaultInjected("injected abort (in-process: degraded to crash)")
+    if kind == "hang":
+        time.sleep(float(fault.get("seconds", 30.0)))
+
+
+def _supervised_worker(
+    spec: CaseSpec, attempt: int, plan: dict | None, in_pool: bool = True
+) -> dict | bytes:
+    """One supervised attempt: inject any planned fault, then simulate.
+
+    Runs in a pool worker (the plan travels as an argument so spawn
+    children see it too) or in-process for the serial path.  Ships the
+    result as a ``to_dict`` payload either way, so both paths exercise
+    the same schema-versioned round trip.
+    """
+    fault = _fault_for(plan, spec, attempt)
+    if fault is not None:
+        _trigger_fault(fault, in_pool=in_pool)
+    payload = runner.execute_spec(spec).to_dict()
+    if fault is not None and fault.get("kind") == "corrupt":
+        payload = _corrupt_payload(payload, fault.get("style", "cycles"))
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+
+
+def resolve_case_timeout(explicit: float | None = None) -> float | None:
+    """The uniform deadline override: argument, else ``$REPRO_CASE_TIMEOUT``.
+
+    ``None`` means "scale per case from the instruction count".
+    """
+    if explicit is not None:
+        if explicit <= 0:
+            raise ValueError(
+                f"case timeout must be positive, got {explicit}"
+            )
+        return explicit
+    env = os.environ.get(ENV_CASE_TIMEOUT)
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_CASE_TIMEOUT} must be a number of seconds, "
+                f"got {env!r}"
+            ) from None
+        if value <= 0:
+            raise ValueError(
+                f"{ENV_CASE_TIMEOUT} must be positive, got {value}"
+            )
+        return value
+    return None
+
+
+def case_deadline(spec: CaseSpec, override: float | None = None) -> float:
+    """Seconds this case may run: override, else scaled from its size."""
+    if override is not None:
+        return override
+    instructions = spec.instructions
+    if instructions is None:
+        try:
+            from repro.workloads.registry import get_workload
+
+            instructions = get_workload(spec.workload).default_instructions
+        except Exception:  # unknown workload: fall back to a generous size
+            instructions = FALLBACK_INSTRUCTIONS
+    return BASE_DEADLINE_SECONDS + PER_INSTRUCTION_SECONDS * instructions
+
+
+def _call_with_deadline(fn, deadline: float | None):
+    """Run ``fn`` under a SIGALRM deadline where the platform allows it.
+
+    Serial in-process execution has no pool to time out against; on Unix
+    main threads an interval timer enforces the deadline, elsewhere the
+    call runs unguarded.  The timer is disarmed the moment the call
+    returns.
+    """
+    if deadline is None or not hasattr(signal, "setitimer"):
+        return fn()
+
+    def _on_alarm(signum, frame):
+        raise CaseDeadlineExceeded(
+            f"in-process case exceeded its {deadline:.1f}s deadline"
+        )
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not the main thread
+        return fn()
+    signal.setitimer(signal.ITIMER_REAL, deadline)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ---------------------------------------------------------------------------
+# the supervisor
+
+
+def validate_payload(payload, spec: CaseSpec) -> SimResult:
+    """Decode and guard a worker payload (shared by pool and serial paths).
+
+    Raises :class:`CorruptPayload` when the payload cannot be decoded and
+    :class:`repro.core.invariants.InvariantViolation` when the decoded
+    result breaks the accounting identities in strict mode.
+    """
+    if not isinstance(payload, dict):
+        raise CorruptPayload(
+            f"worker returned {type(payload).__name__}, not a result payload"
+        )
+    try:
+        result = SimResult.from_dict(payload)
+    except Exception as exc:
+        raise CorruptPayload(f"undecodable result payload: {exc}") from exc
+    invariants.verify_result(result, context=spec.label())
+    return result
+
+
+def _format_error(exc: BaseException) -> str:
+    """Compact traceback text for a failure record."""
+    lines = traceback.format_exception_only(type(exc), exc)
+    return "".join(lines).strip()[:2000]
+
+
+def _record(
+    attempts: dict[str, list[Attempt]],
+    key: str,
+    classification: str,
+    error: str,
+    started: float,
+    executor: str,
+) -> None:
+    history = attempts[key]
+    history.append(
+        Attempt(
+            attempt=len(history),
+            classification=classification,
+            error=error,
+            elapsed_seconds=time.perf_counter() - started,
+            executor=executor,
+        )
+    )
+
+
+def _publish(
+    outcome: SupervisionOutcome,
+    key: str,
+    spec: CaseSpec,
+    result: SimResult,
+    use_cache: bool,
+) -> None:
+    if use_cache:
+        runner.store_result(key, spec, result)
+    outcome.results[key] = result
+    discard_failure(key)
+
+
+def _pool_round(
+    pending: list[tuple[str, CaseSpec]],
+    *,
+    jobs: int,
+    mp_start_method: str | None,
+    plan: dict | None,
+    attempts: dict[str, list[Attempt]],
+    outcome: SupervisionOutcome,
+    timeout_override: float | None,
+    use_cache: bool,
+) -> tuple[list[tuple[str, CaseSpec]], bool]:
+    """One pool pass over ``pending``; returns (retry list, pool broke)."""
+    context = None
+    if mp_start_method is not None:
+        context = multiprocessing.get_context(mp_start_method)
+    pool = ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)), mp_context=context
+    )
+    retry: list[tuple[str, CaseSpec]] = []
+    broke = False
+    try:
+        submitted = [
+            (
+                key,
+                spec,
+                pool.submit(
+                    _supervised_worker, spec, len(attempts[key]), plan
+                ),
+            )
+            for key, spec in pending
+        ]
+        # Deterministic collection: submission order, not completion order.
+        for key, spec, future in submitted:
+            started = time.perf_counter()
+            deadline = case_deadline(spec, timeout_override)
+            try:
+                payload = future.result(timeout=deadline)
+                result = validate_payload(payload, spec)
+            except (FutureTimeout, TimeoutError):
+                future.cancel()
+                outcome.timeouts += 1
+                _record(
+                    attempts, key, "timeout",
+                    f"no result within the {deadline:.1f}s deadline",
+                    started, "pool",
+                )
+                retry.append((key, spec))
+            except BrokenProcessPool as exc:
+                # A worker died hard.  Every uncollected future of this
+                # pool is about to raise the same thing; record and retry
+                # them all in a rebuilt pool (or serially, if this keeps
+                # happening).
+                broke = True
+                _record(
+                    attempts, key, "crash",
+                    f"worker pool broke: {exc}", started, "pool",
+                )
+                retry.append((key, spec))
+            except invariants.InvariantViolation as exc:
+                _record(
+                    attempts, key, "invariant", _format_error(exc),
+                    started, "pool",
+                )
+                retry.append((key, spec))
+            except CorruptPayload as exc:
+                _record(
+                    attempts, key, "corrupt-payload", _format_error(exc),
+                    started, "pool",
+                )
+                retry.append((key, spec))
+            except Exception as exc:  # worker raised: a crash
+                _record(
+                    attempts, key, "crash", _format_error(exc),
+                    started, "pool",
+                )
+                retry.append((key, spec))
+            else:
+                TELEMETRY.record_simulation(spec.label(), result)
+                _publish(outcome, key, spec, result, use_cache)
+    except KeyboardInterrupt:
+        # Ctrl-C: cancel everything still queued and reap the pool so no
+        # orphan workers keep simulating a batch nobody will collect.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=False, cancel_futures=True)
+    return retry, broke
+
+
+def _serial_round(
+    pending: list[tuple[str, CaseSpec]],
+    *,
+    plan: dict | None,
+    attempts: dict[str, list[Attempt]],
+    outcome: SupervisionOutcome,
+    timeout_override: float | None,
+    use_cache: bool,
+) -> list[tuple[str, CaseSpec]]:
+    """One in-process pass over ``pending``; returns the retry list.
+
+    ``execute_spec`` records telemetry in-process, so unlike the pool
+    path nothing is re-recorded here.
+    """
+    retry: list[tuple[str, CaseSpec]] = []
+    for key, spec in pending:
+        started = time.perf_counter()
+        deadline = case_deadline(spec, timeout_override)
+        attempt_no = len(attempts[key])
+        try:
+            payload = _call_with_deadline(
+                lambda s=spec, a=attempt_no: _supervised_worker(
+                    s, a, plan, in_pool=False
+                ),
+                deadline,
+            )
+            result = validate_payload(payload, spec)
+        except (FutureTimeout, TimeoutError):
+            outcome.timeouts += 1
+            _record(
+                attempts, key, "timeout",
+                f"no result within the {deadline:.1f}s deadline",
+                started, "serial",
+            )
+            retry.append((key, spec))
+        except invariants.InvariantViolation as exc:
+            _record(
+                attempts, key, "invariant", _format_error(exc),
+                started, "serial",
+            )
+            retry.append((key, spec))
+        except CorruptPayload as exc:
+            _record(
+                attempts, key, "corrupt-payload", _format_error(exc),
+                started, "serial",
+            )
+            retry.append((key, spec))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            _record(
+                attempts, key, "crash", _format_error(exc),
+                started, "serial",
+            )
+            retry.append((key, spec))
+        else:
+            _publish(outcome, key, spec, result, use_cache)
+    return retry
+
+
+def run_supervised(
+    items: list[tuple[str, CaseSpec]],
+    *,
+    jobs: int,
+    mp_start_method: str | None = None,
+    use_cache: bool = True,
+    case_timeout: float | None = None,
+    max_attempts: int | None = None,
+    retry_backoff: float | None = None,
+) -> SupervisionOutcome:
+    """Resolve ``(key, spec)`` cases under supervision.
+
+    Returns a :class:`SupervisionOutcome` with one result or one
+    persisted :class:`FailureReport` per input key — never an exception
+    for an individual case failure (``KeyboardInterrupt`` excepted).
+    """
+    plan = get_fault_plan()
+    if max_attempts is None:
+        max_attempts = DEFAULT_MAX_ATTEMPTS
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    timeout_override = resolve_case_timeout(case_timeout)
+    backoff = DEFAULT_BACKOFF if retry_backoff is None else retry_backoff
+
+    outcome = SupervisionOutcome()
+    attempts: dict[str, list[Attempt]] = {key: [] for key, _ in items}
+    pending = list(items)
+    pool_breaks = 0
+    prefer_serial = jobs <= 1 or len(items) == 1
+    round_no = 0
+    while pending:
+        if round_no and backoff > 0:
+            time.sleep(min(BACKOFF_CAP, backoff * 2 ** (round_no - 1)))
+        degraded = pool_breaks >= POOL_BREAK_LIMIT
+        if prefer_serial or degraded:
+            if degraded and not prefer_serial:
+                outcome.serial_fallback = True
+            retry = _serial_round(
+                pending, plan=plan, attempts=attempts, outcome=outcome,
+                timeout_override=timeout_override, use_cache=use_cache,
+            )
+        else:
+            retry, broke = _pool_round(
+                pending, jobs=jobs, mp_start_method=mp_start_method,
+                plan=plan, attempts=attempts, outcome=outcome,
+                timeout_override=timeout_override, use_cache=use_cache,
+            )
+            if broke:
+                pool_breaks += 1
+                if pool_breaks < POOL_BREAK_LIMIT:
+                    outcome.pool_rebuilds += 1
+        next_pending: list[tuple[str, CaseSpec]] = []
+        for key, spec in retry:
+            if len(attempts[key]) >= max_attempts:
+                report = FailureReport(
+                    key=key,
+                    label=spec.label(),
+                    classification=attempts[key][-1].classification,
+                    attempts=list(attempts[key]),
+                    spec=spec.fingerprint(),
+                )
+                outcome.failures[key] = report
+                save_failure(report)
+            else:
+                next_pending.append((key, spec))
+                outcome.retries += 1
+        pending = next_pending
+        round_no += 1
+    return outcome

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.core.multistage import MultiStageReport
@@ -111,6 +113,18 @@ class SimResult:
             wrong_path_uops=data["wrong_path_uops"],
             wall_seconds=data["wall_seconds"],
         )
+
+    def fingerprint(self) -> str:
+        """Short stable content hash of the fully serialized result.
+
+        Used by the invariant guard's round-trip check and by failure
+        reports to identify exactly which payload a worker shipped.
+        """
+        text = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
     def summary(self) -> dict[str, float]:
         return {

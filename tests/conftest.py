@@ -30,6 +30,24 @@ def _isolated_disk_cache(tmp_path_factory):
         os.environ["REPRO_CACHE_DIR"] = previous
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_failures_dir(tmp_path_factory):
+    """Point the supervisor's failure-report store at a temp dir.
+
+    Fault-injection tests persist and clear failure records; the real
+    ``results/failures`` must stay untouched.  Environment-based for the
+    same pool-worker-inheritance reason as the cache fixture.
+    """
+    failures = tmp_path_factory.mktemp("repro-failures")
+    previous = os.environ.get("REPRO_FAILURES_DIR")
+    os.environ["REPRO_FAILURES_DIR"] = str(failures)
+    yield failures
+    if previous is None:
+        os.environ.pop("REPRO_FAILURES_DIR", None)
+    else:
+        os.environ["REPRO_FAILURES_DIR"] = previous
+
+
 @pytest.fixture
 def tiny():
     """A small core configuration that exposes stalls with short traces."""

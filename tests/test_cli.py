@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core import invariants
+from repro.experiments import supervisor
 
 
 def test_parser_subcommands():
@@ -15,9 +17,25 @@ def test_parser_subcommands():
         ["fig3", "--case", "fig3a"],
         ["fig5"],
         ["overhead"],
+        ["failures", "list"],
+        ["failures", "clear"],
     ):
         args = parser.parse_args(argv)
         assert callable(args.func)
+
+
+def test_parser_harness_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["table1", "--jobs", "2", "--case-timeout", "1.5", "--keep-going",
+         "--no-strict"]
+    )
+    assert args.jobs == 2
+    assert args.case_timeout == 1.5
+    assert args.keep_going and args.no_strict
+    defaults = parser.parse_args(["fig5"])
+    assert defaults.case_timeout is None
+    assert not defaults.keep_going and not defaults.no_strict
 
 
 def test_parser_rejects_unknown_workload():
@@ -68,3 +86,99 @@ def test_socket_command(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "socket" in out and "homogeneity" in out
+
+
+def test_failures_commands(capsys):
+    supervisor.clear_failures()
+    assert main(["failures", "list"]) == 0
+    assert "no failure reports" in capsys.readouterr().out
+    supervisor.save_failure(
+        supervisor.FailureReport(
+            key="cafe" * 16, label="mcf@tiny", classification="timeout",
+            attempts=[
+                supervisor.Attempt(
+                    attempt=0, classification="timeout",
+                    error="no result within the 0.3s deadline",
+                    elapsed_seconds=0.3, executor="pool",
+                )
+            ],
+        )
+    )
+    assert main(["failures", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf@tiny" in out and "timeout" in out
+    assert main(["failures", "clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert supervisor.list_failures() == []
+
+
+def test_batch_failure_exits_nonzero(capsys, monkeypatch):
+    monkeypatch.setattr(
+        supervisor, "fault_plan", {"*": {"kind": "crash", "times": 99}}
+    )
+    from repro.experiments.runner import clear_cache
+
+    clear_cache()
+    code = main(["fig5", "--jobs", "1", "--instructions", "1500"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "failed after supervision" in captured.err
+    assert "[harness]" in captured.out, "the summary line still prints"
+    supervisor.clear_failures()
+    clear_cache()
+
+
+def test_keep_going_failed_baseline_omits_group(capsys, monkeypatch):
+    """A baseline that never recovers drops its whole Table I group."""
+    monkeypatch.setattr(
+        supervisor, "fault_plan",
+        {"mcf@knl": {"kind": "crash", "times": 99}},
+    )
+    from repro.experiments.runner import clear_cache
+
+    clear_cache()
+    code = main(["table1", "--jobs", "1", "--instructions", "1500",
+                 "--keep-going"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mcf on BDW" in out, "the healthy group still renders"
+    assert "mcf on KNL" not in out, "the group without a baseline is gone"
+    supervisor.clear_failures()
+    clear_cache()
+
+
+def test_keep_going_incomplete_socket_fails_cleanly(capsys, monkeypatch):
+    """Aggregates that need every case report IncompleteBatch, not a crash."""
+    monkeypatch.setattr(
+        supervisor, "fault_plan", {"*": {"kind": "crash", "times": 99}}
+    )
+    from repro.experiments.runner import clear_cache
+
+    clear_cache()
+    code = main(["socket", "--workload", "exchange2", "--core", "tiny",
+                 "--threads", "2", "--instructions", "1500", "--keep-going"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "needs all 2 threads" in captured.err
+    supervisor.clear_failures()
+    clear_cache()
+
+
+def test_no_strict_flag_disables_guard(capsys):
+    import os
+
+    previous = os.environ.pop(invariants.ENV_STRICT, None)
+    try:
+        code = main(["table1", "--jobs", "1", "--instructions", "1500",
+                     "--no-strict"])
+        assert code == 0
+        assert not invariants.strict_enabled()
+        assert os.environ.get(invariants.ENV_STRICT) == "0", (
+            "workers must inherit non-strict mode via the environment"
+        )
+    finally:
+        invariants.set_strict(None)
+        os.environ.pop(invariants.ENV_STRICT, None)
+        if previous is not None:
+            os.environ[invariants.ENV_STRICT] = previous
+    capsys.readouterr()

@@ -74,7 +74,13 @@ def test_resolve_jobs_precedence(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "zero")
     with pytest.raises(ValueError):
         resolve_jobs(None)
-    assert resolve_jobs(0) == 1, "jobs is clamped to at least one"
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ValueError):
+        resolve_jobs(None)
 
 
 def test_case_spec_needs_exactly_one_machine():
