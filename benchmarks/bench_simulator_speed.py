@@ -1,25 +1,161 @@
 """Simulator throughput: committed micro-ops per host second.
 
-Not a paper figure — a harness health metric, useful when sizing traces.
-pytest-benchmark's timing is authoritative here (multiple rounds of a
-fixed simulation).
+Not a paper figure — a harness health metric, useful when sizing traces
+and for catching simulator performance regressions.  The matrix covers
+memory-bound traces (where the quiescent-cycle fast-forward engine does
+its work) and a compute-bound trace (where it must not regress), each on
+the Broadwell and Knights Landing presets with fast-forward on and off.
+
+Timing is plain ``time.perf_counter`` over full simulations (min of
+several repeats) — no pytest-benchmark fixture — so the CI perf-smoke
+job can run this file standalone.  Results land in
+``results/BENCH_simulator_speed.json`` the way ``bench_runner_scaling``
+writes ``results/BENCH_runner_scaling.json``; the committed copy doubles
+as the throughput baseline the floor assertions are derived from
+(replacing the old magic ``> 5_000`` constant).
 """
 
-from repro.config.presets import broadwell
-from repro.experiments.runner import get_trace
-from repro.pipeline.core import simulate
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.config.presets import broadwell, knights_landing
+from repro.pipeline.core import CoreSimulator
+from repro.workloads.registry import make_trace
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_simulator_speed.json"
+
+#: (workload, kind, instructions).  ``chase`` is the designated
+#: memory-bound trace: a DRAM-latency pointer chase with no wrong-path
+#: delivery, the fast-forward engine's best case.  ``exchange2`` is the
+#: compute-bound guard: nearly every cycle is active, so fast-forward
+#: must get out of the way.
+MATRIX = (
+    ("chase", "memory-bound", 6_000),
+    ("mcf", "memory-bound", 8_000),
+    ("bwaves", "memory-bound", 10_000),
+    ("exchange2", "compute-bound", 30_000),
+)
+
+CONFIGS = (("bdw", broadwell), ("knl", knights_landing))
+
+#: Hard throughput floor for the designated memory-bound trace with
+#: fast-forward on (raised from the historical 5,000 once the
+#: fast-forward engine landed).
+MEMORY_BOUND_FLOOR = 15_000
+
+#: Committed-baseline slack: CI and developer machines differ widely, so
+#: a run only fails against the baseline when it is slower than
+#: ``SLACK`` times the committed number.
+SLACK = 0.25
+
+#: Repeats per cell; the minimum is reported (host timing is noisy).
+REPEATS = 3
 
 
-def test_simulator_throughput(benchmark, reporter):
-    trace = get_trace("exchange2", 10_000, 1)
-    config = broadwell()
+def _time_cell(workload: str, instructions: int, config_fn, *,
+               fast_forward: bool) -> dict:
+    best_wall = None
+    best = None
+    for _ in range(REPEATS):
+        trace = make_trace(workload, instructions, 1)
+        sim = CoreSimulator(trace, config_fn(), fast_forward=fast_forward)
+        start = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            best = (result, sim)
+    result, sim = best
+    return {
+        "wall_seconds": round(best_wall, 4),
+        "uops_per_second": round(result.committed_uops / best_wall),
+        "committed_uops": result.committed_uops,
+        "cycles": result.cycles,
+        "ff_windows": sim.ff_windows,
+        "ff_cycles_skipped": sim.ff_cycles_skipped,
+    }
 
-    result = benchmark.pedantic(
-        lambda: simulate(trace, config), rounds=3, iterations=1
+
+def _baseline_floor(baseline: dict | None, workload: str, cfg: str) -> int:
+    """Throughput floor for one cell, derived from the committed JSON."""
+    if baseline is None:
+        return 0
+    try:
+        cell = baseline["workloads"][workload]["configs"][cfg]
+        return int(cell["ff_on"]["uops_per_second"] * SLACK)
+    except (KeyError, TypeError):
+        return 0
+
+
+def test_simulator_speed(reporter):
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    workloads: dict[str, dict] = {}
+    for workload, kind, instructions in MATRIX:
+        configs: dict[str, dict] = {}
+        for cfg_name, cfg_fn in CONFIGS:
+            off = _time_cell(workload, instructions, cfg_fn,
+                             fast_forward=False)
+            on = _time_cell(workload, instructions, cfg_fn,
+                            fast_forward=True)
+            speedup = (
+                round(off["wall_seconds"] / on["wall_seconds"], 2)
+                if on["wall_seconds"] > 0 else None
+            )
+            configs[cfg_name] = {
+                "ff_off": off, "ff_on": on, "speedup": speedup,
+            }
+            reporter.emit(
+                f"{workload:10s} {cfg_name} ({kind}): "
+                f"off={off['wall_seconds']:.3f}s on={on['wall_seconds']:.3f}s "
+                f"speedup={speedup}x "
+                f"{on['uops_per_second']:,} uops/s "
+                f"({on['ff_windows']} windows, "
+                f"{on['ff_cycles_skipped']}/{on['cycles']} cycles skipped)"
+            )
+        workloads[workload] = {
+            "kind": kind, "instructions": instructions, "configs": configs,
+        }
+
+    payload = {
+        "bench": "simulator_speed",
+        "repeats": REPEATS,
+        "memory_bound_trace": "chase",
+        "memory_bound_floor_uops_per_second": MEMORY_BOUND_FLOOR,
+        "baseline_slack": SLACK,
+        "workloads": workloads,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    reporter.emit(f"wrote {BASELINE_PATH.relative_to(RESULTS_DIR.parent)}")
+
+    # The designated memory-bound trace must clear the hard floor and
+    # show the fast-forward engine actually engaging.
+    chase = workloads["chase"]["configs"]["bdw"]
+    assert chase["ff_on"]["uops_per_second"] > max(
+        MEMORY_BOUND_FLOOR, _baseline_floor(baseline, "chase", "bdw")
     )
-    reporter.emit(
-        f"exchange2 on BDW: {result.committed_uops} uops in "
-        f"{result.cycles} cycles; ~{result.simulated_uops_per_second:,.0f} "
-        "simulated uops/s (single round)"
-    )
-    assert result.simulated_uops_per_second > 5_000
+    assert chase["speedup"] >= 3.0
+    assert chase["ff_on"]["ff_cycles_skipped"] > 0
+
+    # Compute-bound guard: fast-forward within 5% of the plain loop.
+    for cfg_name, _ in CONFIGS:
+        cell = workloads["exchange2"]["configs"][cfg_name]
+        assert cell["speedup"] >= 0.95, (
+            f"fast-forward regressed compute-bound exchange2/{cfg_name}: "
+            f"{cell['speedup']}x"
+        )
+
+    # Every cell stays above its committed-baseline floor (with slack).
+    for workload, data in workloads.items():
+        for cfg_name, cell in data["configs"].items():
+            floor = _baseline_floor(baseline, workload, cfg_name)
+            assert cell["ff_on"]["uops_per_second"] > floor, (
+                f"{workload}/{cfg_name} fell below baseline floor {floor:,}"
+            )

@@ -42,6 +42,7 @@ from repro.experiments.overhead import measure_overhead
 from repro.experiments.parallel import summarize_since, telemetry_mark
 from repro.experiments.runner import clear_cache, run_case
 from repro.experiments.cache import get_disk_cache
+from repro.pipeline import core as pipeline_core
 from repro.viz.ascii import (
     render_boxplot_table,
     render_cpi_stack,
@@ -314,6 +315,13 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
         help="downgrade accounting invariant violations from errors to "
              "warnings (violating results are still never disk-cached)",
     )
+    parser.add_argument(
+        "--no-fast-forward", action="store_true", dest="no_fast_forward",
+        help="force the cycle-by-cycle simulation loop, disabling the "
+             "quiescent-cycle fast-forward engine (results are bitwise "
+             "identical either way; useful for timing comparisons and "
+             "as a bisection escape hatch)",
+    )
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
@@ -350,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--flops", action="store_true",
                      help="also print the FLOPS stack")
+    run.add_argument(
+        "--no-fast-forward", action="store_true", dest="no_fast_forward",
+        help="force the cycle-by-cycle simulation loop (results are "
+             "bitwise identical either way)",
+    )
     run.set_defaults(func=_cmd_run)
 
     wl = sub.add_parser("workloads", help="list available workloads")
@@ -427,6 +440,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         # workers inherit) every worker's guard.
         invariants.set_strict(False)
         os.environ[invariants.ENV_STRICT] = "0"
+    if getattr(args, "no_fast_forward", False):
+        # Inherited by pool workers the same way as the strict flag.
+        os.environ[pipeline_core.ENV_FAST_FORWARD] = "0"
     # Experiment subcommands (the ones with --jobs) get a harness summary
     # line covering every batch the command scheduled.
     harnessed = hasattr(args, "jobs")

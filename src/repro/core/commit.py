@@ -29,27 +29,46 @@ class CommitAccountant:
         self.stack = CpiStack(stage=self.stage)
         self.norm = WidthNormalizer(width)
 
+    def _stall_target(self, obs: CycleObservation) -> Component:
+        """Ground cause of a commit stall cycle."""
+        if obs.unscheduled:
+            return Component.UNSCHED
+        if obs.rob_empty:
+            # ROB drained: a frontend event is starving the whole window.
+            if obs.wrong_path_active:
+                return Component.BPRED
+            return frontend_component(obs.fe_reason)
+        if obs.rob_head is not None and not obs.rob_head.done:
+            # ROB head not done: blame its outstanding execution.
+            return classify_blamed_uop(obs.rob_head)
+        return Component.OTHER
+
     def observe(self, obs: CycleObservation) -> None:
         """Run one cycle of the Table II commit algorithm."""
         f = self.norm.fraction(obs.n_commit)
-        stack = self.stack
-        stack.add(Component.BASE, f)
+        self.stack.add(Component.BASE, f)
         if f >= 1.0:
             return
-        stall = 1.0 - f
-        if obs.unscheduled:
-            stack.add(Component.UNSCHED, stall)
-        elif obs.rob_empty:
-            # ROB drained: a frontend event is starving the whole window.
-            if obs.wrong_path_active:
-                stack.add(Component.BPRED, stall)
-            else:
-                stack.add(frontend_component(obs.fe_reason), stall)
-        elif obs.rob_head is not None and not obs.rob_head.done:
-            # ROB head not done: blame its outstanding execution.
-            stack.add(classify_blamed_uop(obs.rob_head), stall)
-        else:
-            stack.add(Component.OTHER, stall)
+        self.stack.add(self._stall_target(obs), 1.0 - f)
+
+    def observe_repeat(self, obs: CycleObservation, k: int) -> None:
+        """Account ``obs`` for ``k`` consecutive identical cycles.
+
+        Exactly equivalent to ``k`` calls of :meth:`observe`; see
+        :meth:`repro.core.dispatch.DispatchAccountant.observe_repeat` for
+        the bit-exactness argument (whole 0.0/1.0 increments once the
+        normalizer carry is drained).
+        """
+        if obs.n_commit:
+            for _ in range(k):
+                self.observe(obs)
+            return
+        while k > 0 and self.norm.carry != 0.0:
+            self.observe(obs)
+            k -= 1
+        if k <= 0:
+            return
+        self.stack.add(self._stall_target(obs), float(k))
 
     def finalize(self, cycles: int, instructions: int) -> CpiStack:
         self.stack.cycles = float(cycles)

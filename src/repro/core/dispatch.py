@@ -69,6 +69,32 @@ class DispatchAccountant:
         else:
             self.stack.add(component, amount)
 
+    def _stall_target(
+        self, obs: CycleObservation
+    ) -> tuple[Component, int | None]:
+        """Ground cause of a dispatch stall cycle: (component, blamed block)."""
+        if obs.unscheduled:
+            return Component.UNSCHED, None
+        if obs.uop_queue_empty:
+            # FE empty: the frontend could not deliver new micro-ops.
+            if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+                return Component.BPRED, None
+            return frontend_component(obs.fe_reason), None
+        if obs.window_full:
+            # ROB or RS full: blame the instruction at the head of the ROB.
+            # A done head means commit bandwidth, not a stall event: OTHER.
+            # Speculative counters charge the head's own basic block (it is
+            # the architecturally oldest work, so it will commit).
+            head = obs.rob_head
+            if head is not None and not head.done:
+                return classify_blamed_uop(head), head.block_id
+            return Component.OTHER, None
+        if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+            # Frontend is delivering wrong-path micro-ops; dispatch slots are
+            # being consumed by work a perfect predictor would not create.
+            return Component.BPRED, None
+        return Component.OTHER, None
+
     def observe(self, obs: CycleObservation) -> None:
         """Run one cycle of the Table II dispatch algorithm."""
         if self.mode is WrongPathMode.EXACT:
@@ -79,34 +105,38 @@ class DispatchAccountant:
         self._add(Component.BASE, f)
         if f >= 1.0:
             return
-        stall = 1.0 - f
-        if obs.unscheduled:
-            self._add(Component.UNSCHED, stall)
-        elif obs.uop_queue_empty:
-            # FE empty: the frontend could not deliver new micro-ops.
-            if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
-                self._add(Component.BPRED, stall)
-            else:
-                self._add(frontend_component(obs.fe_reason), stall)
-        elif obs.window_full:
-            # ROB or RS full: blame the instruction at the head of the ROB.
-            # A done head means commit bandwidth, not a stall event: OTHER.
-            # Speculative counters charge the head's own basic block (it is
-            # the architecturally oldest work, so it will commit).
-            if obs.rob_head is not None and not obs.rob_head.done:
-                self._add(
-                    classify_blamed_uop(obs.rob_head),
-                    stall,
-                    block_id=obs.rob_head.block_id,
-                )
-            else:
-                self._add(Component.OTHER, stall)
-        elif obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
-            # Frontend is delivering wrong-path micro-ops; dispatch slots are
-            # being consumed by work a perfect predictor would not create.
-            self._add(Component.BPRED, stall)
+        component, block_id = self._stall_target(obs)
+        self._add(component, 1.0 - f, block_id=block_id)
+
+    def observe_repeat(self, obs: CycleObservation, k: int) -> None:
+        """Account ``obs`` for ``k`` consecutive identical cycles.
+
+        Exactly equivalent to calling :meth:`observe` ``k`` times.  The
+        bulk fast path applies once each repeated cycle contributes a
+        whole stall cycle — nothing dispatched and no width-normalizer
+        carry left to drain — because the per-cycle increments are then
+        exactly 0.0 (base) and 1.0 (stall), which accumulate without
+        rounding, so one bulk add of ``float(k)`` reproduces the iterated
+        result bit for bit.
+        """
+        if self.mode is WrongPathMode.EXACT:
+            n = obs.n_dispatch
         else:
-            self._add(Component.OTHER, stall)
+            n = obs.n_dispatch + obs.n_dispatch_wrong
+        if n:
+            # Fractional base contribution every cycle: no exact bulk form.
+            for _ in range(k):
+                self.observe(obs)
+            return
+        while k > 0 and self.norm.carry != 0.0:
+            # Draining the carry makes f nonzero for a few cycles; account
+            # those one at a time until the steady state is reached.
+            self.observe(obs)
+            k -= 1
+        if k <= 0:
+            return
+        component, block_id = self._stall_target(obs)
+        self._add(component, float(k), block_id=block_id)
 
     def finalize(self, cycles: int, instructions: int) -> CpiStack:
         """Close out the stack after the last simulated cycle."""

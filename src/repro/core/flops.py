@@ -64,23 +64,44 @@ class FlopsAccountant:
         slots = (k - n) / k
         if slots <= 0.0:
             return
+        stack.add(self._slot_loss_component(obs), slots)
+
+    def _slot_loss_component(self, obs: CycleObservation) -> FlopsComponent:
+        """Table III attribution for empty VFP issue slots."""
         if obs.unscheduled:
-            stack.add(FlopsComponent.UNSCHED, slots)
-        elif not obs.vfp_in_rs:
+            return FlopsComponent.UNSCHED
+        if not obs.vfp_in_rs:
             # No VFP instructions available: non-FP code, or the frontend is
             # stalled on an I-cache or branch-predictor miss.
-            stack.add(FlopsComponent.FRONTEND, slots)
-        elif obs.vu_used_by_non_vfp:
-            stack.add(FlopsComponent.NON_VFP, slots)
-        elif obs.oldest_vfp_producer is not None:
+            return FlopsComponent.FRONTEND
+        if obs.vu_used_by_non_vfp:
+            return FlopsComponent.NON_VFP
+        if obs.oldest_vfp_producer is not None:
             if obs.oldest_vfp_producer.is_load:
-                stack.add(FlopsComponent.MEM, slots)
-            else:
-                stack.add(FlopsComponent.DEPEND, slots)
-        elif obs.vfp_structural:
-            stack.add(FlopsComponent.OTHER, slots)
-        else:
-            stack.add(FlopsComponent.OTHER, slots)
+                return FlopsComponent.MEM
+            return FlopsComponent.DEPEND
+        # Structural VFP stalls and anything unexplained both land in OTHER.
+        return FlopsComponent.OTHER
+
+    def observe_repeat(self, obs: CycleObservation, k: int) -> None:
+        """Account ``obs`` for ``k`` consecutive identical cycles.
+
+        Exactly equivalent to ``k`` calls of :meth:`observe`.  With no
+        FLOPs and no VFP issue in the repeated cycle, each call adds
+        exactly one whole empty-slot cycle to a single component (there is
+        no width-normalizer carry in the FLOPS algorithm), so the bulk add
+        of ``float(k)`` is bit-identical to the iterated result.
+        """
+        if (
+            obs.flops_issued
+            or obs.n_vfp_issued
+            or obs.non_fma_loss_lanes
+            or obs.masked_lanes
+        ):
+            for _ in range(k):
+                self.observe(obs)
+            return
+        self.stack.add(self._slot_loss_component(obs), float(k))
 
     def finalize(self, cycles: int) -> FlopsStack:
         self.stack.cycles = float(cycles)

@@ -68,6 +68,40 @@ class IssueAccountant:
         else:
             self.stack.add(component, amount)
 
+    def _stall_target(
+        self, obs: CycleObservation
+    ) -> tuple[Component, int | None]:
+        """Ground cause of an issue stall cycle: (component, blamed block)."""
+        if obs.unscheduled:
+            return Component.UNSCHED, None
+        if obs.rs_empty:
+            # RS drained: either the frontend is the limiter, or dispatch is
+            # blocked on a full window while the RS runs dry (povray-style
+            # microcode stalls arrive here via fe_reason).
+            if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+                return Component.BPRED, None
+            if obs.fe_reason is not None:
+                return frontend_component(obs.fe_reason), None
+            head = obs.rob_head
+            if obs.window_full and head is not None and not head.done:
+                return classify_blamed_uop(head), head.block_id
+            return Component.OTHER, None
+        if obs.structural_stall:
+            # Ready micro-ops existed but ports/FUs/conflicts blocked them:
+            # only the issue stage can see these (Sec. V-A, 'Other').
+            return Component.OTHER, None
+        if obs.first_nonready_producer is not None:
+            # prod(first non-ready instr): the instruction whose pending
+            # result gates the oldest waiting consumer.
+            producer = obs.first_nonready_producer
+            return (
+                classify_blamed_uop(producer),
+                getattr(producer, "block_id", None),
+            )
+        if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
+            return Component.BPRED, None
+        return Component.OTHER, None
+
     def observe(self, obs: CycleObservation) -> None:
         """Run one cycle of the Table II issue algorithm."""
         if self.mode is WrongPathMode.EXACT:
@@ -78,46 +112,32 @@ class IssueAccountant:
         self._add(Component.BASE, f)
         if f >= 1.0:
             return
-        stall = 1.0 - f
-        if obs.unscheduled:
-            self._add(Component.UNSCHED, stall)
-        elif obs.rs_empty:
-            # RS drained: either the frontend is the limiter, or dispatch is
-            # blocked on a full window while the RS runs dry (povray-style
-            # microcode stalls arrive here via fe_reason).
-            if obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
-                self._add(Component.BPRED, stall)
-            elif obs.fe_reason is not None:
-                self._add(frontend_component(obs.fe_reason), stall)
-            elif (
-                obs.window_full
-                and obs.rob_head is not None
-                and not obs.rob_head.done
-            ):
-                self._add(
-                    classify_blamed_uop(obs.rob_head),
-                    stall,
-                    block_id=obs.rob_head.block_id,
-                )
-            else:
-                self._add(Component.OTHER, stall)
-        elif obs.structural_stall:
-            # Ready micro-ops existed but ports/FUs/conflicts blocked them:
-            # only the issue stage can see these (Sec. V-A, 'Other').
-            self._add(Component.OTHER, stall)
-        elif obs.first_nonready_producer is not None:
-            # prod(first non-ready instr): the instruction whose pending
-            # result gates the oldest waiting consumer.
-            producer = obs.first_nonready_producer
-            self._add(
-                classify_blamed_uop(producer),
-                stall,
-                block_id=getattr(producer, "block_id", None),
-            )
-        elif obs.wrong_path_active and self.mode is WrongPathMode.EXACT:
-            self._add(Component.BPRED, stall)
+        component, block_id = self._stall_target(obs)
+        self._add(component, 1.0 - f, block_id=block_id)
+
+    def observe_repeat(self, obs: CycleObservation, k: int) -> None:
+        """Account ``obs`` for ``k`` consecutive identical cycles.
+
+        Exactly equivalent to ``k`` calls of :meth:`observe`; see
+        :meth:`repro.core.dispatch.DispatchAccountant.observe_repeat` for
+        the bit-exactness argument (whole 0.0/1.0 increments once the
+        normalizer carry is drained).
+        """
+        if self.mode is WrongPathMode.EXACT:
+            n = obs.n_issue
         else:
-            self._add(Component.OTHER, stall)
+            n = obs.n_issue + obs.n_issue_wrong
+        if n:
+            for _ in range(k):
+                self.observe(obs)
+            return
+        while k > 0 and self.norm.carry != 0.0:
+            self.observe(obs)
+            k -= 1
+        if k <= 0:
+            return
+        component, block_id = self._stall_target(obs)
+        self._add(component, float(k), block_id=block_id)
 
     def finalize(self, cycles: int, instructions: int) -> CpiStack:
         if self.spec is not None:

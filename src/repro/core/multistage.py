@@ -75,6 +75,21 @@ class MultiStageCollector:
         if self.topdown is not None:
             self.topdown.observe(obs)
 
+    def observe_repeat(self, obs: CycleObservation, k: int) -> None:
+        """Account ``obs`` for ``k`` consecutive identical cycles.
+
+        Bit-identical to ``k`` calls of :meth:`observe`; each accountant
+        provides its own repeat-count fast path (falling back to the
+        per-cycle loop whenever the observation is not a pure stall).
+        """
+        self.dispatch.observe_repeat(obs, k)
+        self.issue.observe_repeat(obs, k)
+        self.commit.observe_repeat(obs, k)
+        if self.flops is not None:
+            self.flops.observe_repeat(obs, k)
+        if self.topdown is not None:
+            self.topdown.observe_repeat(obs, k)
+
     # -- speculative-counter event plumbing ----------------------------------
 
     def set_block(self, block_id: int) -> None:

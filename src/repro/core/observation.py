@@ -84,3 +84,13 @@ class CycleObservation:
     oldest_vfp_producer: Any = None
     #: Ready VFP micro-ops were blocked by structural limits this cycle.
     vfp_structural: bool = False
+
+    def reset(self) -> None:
+        """Return every field to its default.
+
+        The pipeline reuses one observation object across cycles (the
+        per-cycle allocation showed up in profiles); accountants read the
+        observation synchronously and never retain a reference, so reuse
+        is safe.
+        """
+        self.__init__()

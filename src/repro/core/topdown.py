@@ -187,6 +187,63 @@ class TopDownAccountant:
             )
         self._observe_level2(obs)
 
+    def observe_repeat(self, obs: CycleObservation, k: int) -> None:
+        """Account ``obs`` for ``k`` consecutive identical cycles.
+
+        Exactly equivalent to ``k`` calls of :meth:`observe`.  With no
+        dispatch or issue activity in the repeated cycle (the only case
+        the fast-forward engine produces), each cycle contributes exactly
+        0.0 retiring slots and 1.0 whole slots to a single level-1
+        category, and whole 1.0 increments to the level-2 details — all
+        exact in floating point, so bulk adds of ``float(k)`` match the
+        iterated result bit for bit.
+        """
+        if obs.n_dispatch or obs.n_dispatch_wrong or obs.n_issue:
+            for _ in range(k):
+                self.observe(obs)
+            return
+        while k > 0 and self.norm.carry != 0.0:
+            self.observe(obs)
+            k -= 1
+        if k <= 0:
+            return
+        self._cycles += k
+        level1 = self.report.level1
+        # observe() touches the Retiring entry even at fraction 0.0;
+        # replicate the key creation (adding 0.0 once is idempotent).
+        level1[TopLevel.RETIRING] = level1.get(TopLevel.RETIRING, 0.0) + 0.0
+        if obs.wrong_path_active:
+            level1[TopLevel.BAD_SPECULATION] = (
+                level1.get(TopLevel.BAD_SPECULATION, 0.0) + float(k)
+            )
+        elif obs.unscheduled or obs.uop_queue_empty:
+            level1[TopLevel.FRONTEND_BOUND] = (
+                level1.get(TopLevel.FRONTEND_BOUND, 0.0) + float(k)
+            )
+        else:
+            level1[TopLevel.BACKEND_BOUND] = (
+                level1.get(TopLevel.BACKEND_BOUND, 0.0) + float(k)
+            )
+        # Level-2 details: whole 1.0 increments per cycle in both tables.
+        if obs.uop_queue_empty and not obs.wrong_path_active:
+            fe = self.report.frontend_detail
+            if obs.fe_reason is Component.ICACHE:
+                fe_key = FrontendDetail.ICACHE
+            elif obs.fe_reason is Component.MICROCODE:
+                fe_key = FrontendDetail.MICROCODE
+            else:
+                fe_key = FrontendDetail.OTHER
+            fe[fe_key] = fe.get(fe_key, 0.0) + float(k)
+        if not obs.rs_empty:
+            producer = obs.first_nonready_producer
+            if producer is not None:
+                be = self.report.backend_detail
+                if classify_blamed_uop(producer) is Component.DCACHE:
+                    be_key = BackendDetail.MEMORY_BOUND
+                else:
+                    be_key = BackendDetail.CORE_BOUND
+                be[be_key] = be.get(be_key, 0.0) + float(k)
+
     def _observe_level2(self, obs: CycleObservation) -> None:
         # Frontend detail at the dispatch stage.
         if obs.uop_queue_empty and not obs.wrong_path_active:

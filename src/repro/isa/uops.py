@@ -10,6 +10,7 @@ here actually means a micro-operation", Sec. V-B).
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.isa.registers import NO_REG
@@ -136,18 +137,34 @@ class WrongPathTemplate:
     #: Probability that a wrong-path load actually probes the D-cache.
     load_probe_prob: float = 0.5
     _weights: tuple[float, ...] = field(init=False, repr=False)
+    _cum: tuple[float, ...] = field(init=False, repr=False)
+    _classes: tuple[UopClass, ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         total = sum(w for _, w in self.mix)
         if total <= 0:
             raise ValueError("wrong-path mix weights must sum to a positive value")
         self._weights = tuple(w / total for _, w in self.mix)
+        # Cumulative thresholds, accumulated in mix order (the identical
+        # float sums the old per-call loop produced).
+        cum: list[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w
+            cum.append(acc)
+        self._cum = tuple(cum)
+        self._classes = tuple(uclass for uclass, _ in self.mix)
 
     def pick_class(self, u: float) -> UopClass:
-        """Map a uniform sample ``u`` in [0, 1) to a micro-op class."""
-        acc = 0.0
-        for (uclass, _), w in zip(self.mix, self._weights):
-            acc += w
-            if u < acc:
-                return uclass
-        return self.mix[-1][0]
+        """Map a uniform sample ``u`` in [0, 1) to a micro-op class.
+
+        ``bisect_right`` finds the first threshold strictly greater than
+        ``u`` — the same bucket the linear ``u < threshold`` scan picked.
+        The final clamp covers ``u`` at/above the last threshold (float
+        rounding can leave the cumulative sum just under 1.0).
+        """
+        index = bisect_right(self._cum, u)
+        classes = self._classes
+        if index >= len(classes):
+            index = len(classes) - 1
+        return classes[index]

@@ -59,6 +59,7 @@ class Cache:
         "set_mask",
         "latency",
         "_sets",
+        "_occupancy",
         "stats",
     )
 
@@ -74,6 +75,7 @@ class Cache:
         self._sets: list[dict[int, bool]] = [
             {} for _ in range(config.num_sets)
         ]
+        self._occupancy = 0
         self.stats = CacheStats()
 
     def line_of(self, addr: int) -> int:
@@ -115,6 +117,8 @@ class Cache:
             if victim_dirty:
                 self.stats.dirty_evictions += 1
         cache_set[line] = dirty
+        if victim is None:
+            self._occupancy += 1
         if prefetch:
             self.stats.prefetch_fills += 1
         return victim
@@ -126,9 +130,18 @@ class Cache:
             cache_set[line] = True
 
     def invalidate(self, line: int) -> None:
-        self._set_for(line).pop(line, None)
+        # The stored value is the dirty *bool*, so a ``None`` sentinel
+        # unambiguously means the line was absent.
+        if self._set_for(line).pop(line, None) is not None:
+            self._occupancy -= 1
 
     @property
     def occupancy(self) -> int:
-        """Number of valid lines currently cached."""
-        return sum(len(s) for s in self._sets)
+        """Number of valid lines currently cached.
+
+        Maintained as a running count in :meth:`insert`/:meth:`invalidate`
+        (an eviction replaces its victim, so the count is unchanged);
+        summing set sizes per query was O(num_sets) and showed up when
+        occupancy was polled every cycle.
+        """
+        return self._occupancy

@@ -10,7 +10,9 @@ evict data lines and vice versa (the Fig. 3b coupling).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 from repro.config.cores import MemoryConfig
 from repro.memory.cache import Cache
@@ -77,6 +79,9 @@ class MemoryHierarchy:
         self._ichain = [_Level(self.l1i), *shared]
         self._dchain = [_Level(self.l1d), *shared]
         self.prefetches_issued = 0
+        #: Min-heap of scheduled fill completion times (all levels), for
+        #: the fast-forward engine's ``next_event`` query.
+        self._fill_events: list[float] = []
 
     # -- core walk -------------------------------------------------------------
 
@@ -116,6 +121,7 @@ class MemoryHierarchy:
         )
         level.mshr.hold_until(complete)
         level.outstanding[line] = complete
+        heappush(self._fill_events, complete)
         victim = cache.insert(line, prefetch=prefetch)
         if victim is not None and victim.dirty:
             self._writeback(chain, idx + 1, victim.line, complete)
@@ -215,6 +221,22 @@ class MemoryHierarchy:
             if pending is not None and pending > now:
                 return pending
         return now + latency + self.dram.config.latency
+
+    def next_event(self, cycle: float) -> float:
+        """Earliest in-flight fill completion strictly after ``cycle``.
+
+        Purely observational (the fast-forward engine's memory bound):
+        access timing is computed at request time, so a completing fill
+        never mutates state on its own — including fills in the skip
+        bound only shortens windows, never changes results.  Expired
+        times are popped lazily; the ``outstanding`` dicts themselves are
+        untouched (their lazy-deletion semantics are load-bearing for
+        miss merging and prefetch suppression).
+        """
+        events = self._fill_events
+        while events and events[0] <= cycle:
+            heappop(events)
+        return events[0] if events else math.inf
 
     # -- statistics --------------------------------------------------------------
 

@@ -11,6 +11,7 @@ accounting collector — the paper's measurement point.
 from __future__ import annotations
 
 import math
+import os
 import time
 from collections import deque
 
@@ -25,12 +26,22 @@ from repro.isa.registers import TOTAL_REGS
 from repro.isa.uops import UopClass
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.frontend import Frontend
-from repro.pipeline.inflight import InflightUop
+from repro.pipeline.inflight import POOL_MUL, InflightUop
 from repro.pipeline.resources import FunctionalUnitPool
 from repro.pipeline.result import SimResult
 
 #: Safety net against scheduling bugs: no realistic trace needs more cycles.
 _MAX_CYCLES_PER_UOP = 400
+
+#: Environment escape hatch for the quiescent-cycle fast-forward engine.
+#: Set to "0" to force cycle-by-cycle simulation everywhere (including
+#: pool worker processes, which inherit the environment).
+ENV_FAST_FORWARD = "REPRO_FAST_FORWARD"
+
+
+def fast_forward_default() -> bool:
+    """Fast-forward setting from the environment (on unless ``"0"``)."""
+    return os.environ.get(ENV_FAST_FORWARD, "1") != "0"
 
 
 class CoreSimulator:
@@ -47,6 +58,7 @@ class CoreSimulator:
         warmup_instructions: int = 0,
         accounting_width: int | None = None,
         topdown: bool = False,
+        fast_forward: bool | None = None,
     ) -> None:
         if config.memory is None:
             raise ValueError("core configuration needs a memory hierarchy")
@@ -82,6 +94,11 @@ class CoreSimulator:
                 topdown=topdown,
             )
         self.fu = FunctionalUnitPool(config)
+        #: uclass -> execution latency, precomputed (latency_of's
+        #: membership test + dict lookup sat on the issue fast path).
+        self._latency_of = tuple(
+            config.latency_of(uclass) for uclass in UopClass
+        )
         self.rob: deque[InflightUop] = deque()
         self.rs: list[InflightUop] = []
         self.uop_queue: deque[InflightUop] = deque()
@@ -111,6 +128,20 @@ class CoreSimulator:
         self._rs_quiet = False
         self._has_correct_waiting = False
         self._issue_obs_cache: tuple = (None, False, False, None, False)
+        # Quiescent-cycle fast-forward: when every stage is provably
+        # stalled until a known future event, jump there in one step and
+        # bulk-account the identical cycles.  Bitwise identical results;
+        # ``fast_forward=False`` (or REPRO_FAST_FORWARD=0) forces the
+        # cycle-by-cycle loop.
+        self._fast_forward = (
+            fast_forward_default() if fast_forward is None else fast_forward
+        )
+        self.ff_windows = 0
+        self.ff_cycles_skipped = 0
+        # One observation object reused across cycles (per-cycle
+        # allocation dominated short-stall profiles); accountants never
+        # retain a reference.
+        self._obs = CycleObservation() if accounting else None
 
     # -- top-level driver --------------------------------------------------------
 
@@ -121,8 +152,10 @@ class CoreSimulator:
                 self.program.uop_count, 1
             ) + 100_000
         start = time.perf_counter()
-        while not self._finished():
-            self._step()
+        step = self._step
+        finished = self._finished
+        while not finished():
+            step()
             if self.cycle > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
@@ -163,7 +196,9 @@ class CoreSimulator:
     def _step(self) -> None:
         cycle = self.cycle
         collector = self.collector
-        obs = CycleObservation() if collector is not None else None
+        obs = self._obs if collector is not None else None
+        if obs is not None:
+            obs.reset()
 
         if self.unsched_remaining > 0:
             # Core descheduled: nothing moves; the cycle is Unsched.
@@ -175,6 +210,12 @@ class CoreSimulator:
                 collector.observe(obs)
             self.cycle = cycle + 1
             return
+
+        if self._fast_forward and self._rs_quiet and not self._rs_dirty:
+            k = self._quiescent_cycles(cycle)
+            if k > 0:
+                self._fast_forward_by(cycle, k, obs)
+                return
 
         self._writeback(cycle)
         self._commit(cycle, obs)
@@ -209,6 +250,98 @@ class CoreSimulator:
                 vector_lanes=self.config.vector_lanes,
                 topdown=self._topdown,
             )
+
+    # -- quiescent-cycle fast-forward ---------------------------------------------
+
+    def _quiescent_cycles(self, cycle: int) -> int:
+        """Length of the provably-stalled window starting at ``cycle``.
+
+        Returns ``k > 0`` only when every stage does nothing for the next
+        ``k`` cycles and the per-cycle observation is constant over them:
+
+        * commit blocked (ROB empty or head not done),
+        * dispatch blocked (uop queue empty, or its head stopped by a
+          full ROB / RS / store queue),
+        * issue scan quiet and still valid (checked by the caller via
+          ``_rs_quiet``/``_rs_dirty``),
+        * no writeback scheduled before ``cycle + k``,
+        * frontend inert: stalled past the window, permanently idle, or
+          frozen behind a full uop queue.
+
+        ``k`` is bounded by the earliest future event — a completion or
+        the frontend stall's expiry — so the window never crosses a cycle
+        where anything could change.  In-flight memory fills
+        (:meth:`MemoryHierarchy.next_event`) are deliberately *not* part
+        of the bound: access timing is computed at request time and no
+        memory query happens inside a quiescent window, so a completing
+        fill cannot change anything the window observes; demand-miss
+        fills coincide with the load's completion event anyway, and
+        prefetch fills would only split windows for no reason.  Commit is
+        the only place warmup can end, and quiescent windows commit
+        nothing, so a window can never cross the warmup boundary.
+        """
+        rob = self.rob
+        if rob and rob[0].done:
+            return 0  # commit would retire (and could end warmup / sync)
+        queue = self.uop_queue
+        config = self.config
+        if queue:
+            head = queue[0]
+            if not (
+                len(rob) >= config.rob_size
+                or len(self.rs) >= config.rs_size
+                or (head.is_store and self.sq_count >= config.store_queue_size)
+            ):
+                return 0  # dispatch would make progress
+        completions = self.completions
+        wake = min(completions) if completions else math.inf
+        if wake <= cycle:
+            return 0  # a writeback happens this very cycle
+        fe_next = self.frontend.next_event(cycle)
+        if fe_next <= cycle:
+            room = config.uop_queue_size - len(queue)
+            if room > 0:
+                return 0  # frontend would deliver into the queue
+            # Queue full: _fetch skips deliver() entirely, freezing the
+            # frontend (and its reason()) until the core drains the queue.
+            fe_next = math.inf
+        if fe_next < wake:
+            wake = fe_next
+        if wake == math.inf:
+            return 0  # termination/deadlock: let the normal loop decide
+        return int(wake) - cycle
+
+    def _fast_forward_by(
+        self, cycle: int, k: int, obs: CycleObservation | None
+    ) -> None:
+        """Jump ``k`` quiescent cycles in one step, bulk-accounting them."""
+        frontend = self.frontend
+        room = self.config.uop_queue_size - len(self.uop_queue)
+        frontend.note_skipped_cycles(cycle, k, room > 0)
+        self.ff_windows += 1
+        self.ff_cycles_skipped += k
+        if obs is not None:
+            rob = self.rob
+            obs.rob_empty = not rob
+            obs.rob_head = rob[0] if rob else None
+            (
+                obs.first_nonready_producer,
+                obs.structural_stall,
+                obs.vfp_in_rs,
+                obs.oldest_vfp_producer,
+                obs.vfp_structural,
+            ) = self._issue_obs_cache
+            obs.rs_empty = not self._has_correct_waiting
+            queue_empty = not self.uop_queue
+            obs.uop_queue_empty = queue_empty
+            obs.window_full = not queue_empty
+            fe_reason = frontend.reason(cycle)
+            obs.fe_reason = fe_reason
+            obs.wrong_path_active = (
+                frontend.wrong_path or fe_reason is Component.BPRED
+            )
+            self.collector.observe_repeat(obs, k)
+        self.cycle = cycle + k
 
     # -- stages -------------------------------------------------------------------
 
@@ -283,6 +416,11 @@ class CoreSimulator:
         config = self.config
         machine_lanes = config.vector_lanes
         pending_stores = self.pending_stores
+        # FU availability inlined from FunctionalUnitPool.can_issue/take
+        # (two method calls per scanned reservation-station entry).
+        free = fu._free
+        issue_free = fu._issue_free
+        unpipelined = fu._unpipelined_flags
 
         n_issue = 0
         n_issue_wrong = 0
@@ -299,6 +437,7 @@ class CoreSimulator:
         masked = 0.0
 
         new_rs: list[InflightUop] = []
+        new_rs_append = new_rs.append
         for uop in self.rs:
             if uop.squashed:
                 continue
@@ -322,11 +461,15 @@ class CoreSimulator:
                 if conflict:
                     structural = True
                     correct_waiting += 1
-                    new_rs.append(uop)
+                    new_rs_append(uop)
                     continue
-                if fu.can_issue(uop.pool):
+                pool = uop.pool
+                if issue_free > 0 and free[pool] > 0:
                     latency = self._execute(uop, cycle, forward_store)
-                    fu.take(uop.pool, static.uclass, cycle, latency)
+                    issue_free -= 1
+                    free[pool] -= 1
+                    if pool == POOL_MUL and unpipelined[static.uclass]:
+                        fu._reserve_mul(cycle, latency)
                     if uop.wrong_path:
                         n_issue_wrong += 1
                     else:
@@ -358,8 +501,9 @@ class CoreSimulator:
                         vfp_in_rs = True
                         if oldest_vfp_nonready is None:
                             oldest_vfp_nonready = uop
-            new_rs.append(uop)
+            new_rs_append(uop)
         self.rs = new_rs
+        fu._issue_free = issue_free
 
         first_producer = (
             first_nonready.first_unfinished_producer()
@@ -428,7 +572,7 @@ class CoreSimulator:
             complete = cycle + 1
             latency = 1
         else:
-            latency = self.config.latency_of(uclass)
+            latency = self._latency_of[uclass]
             complete = cycle + latency
         if complete <= cycle:
             complete = cycle + 1
@@ -453,6 +597,10 @@ class CoreSimulator:
         n_wrong = 0
         queue_empty = False
         window_full = False
+        last_block_id = -1
+        rename = self._rename
+        rob_append = rob.append
+        rs_append = rs.append
         while n + n_wrong < width:
             if not queue:
                 queue_empty = True
@@ -466,10 +614,9 @@ class CoreSimulator:
                 window_full = True
                 break
             queue.popleft()
-            self._rename(uop)
-            rob.append(uop)
-            rs.append(uop)
-            self._rs_dirty = True
+            rename(uop)
+            rob_append(uop)
+            rs_append(uop)
             if uop.is_store:
                 self.sq_count += 1
                 if not uop.wrong_path and uop.uop.addr >= 0:
@@ -478,8 +625,17 @@ class CoreSimulator:
                 n_wrong += 1
             else:
                 n += 1
-            if self._spec_mode and self.collector is not None:
-                self.collector.set_block(uop.block_id)
+            last_block_id = uop.block_id
+        if n or n_wrong:
+            self._rs_dirty = True
+            if (
+                self._spec_mode
+                and self.collector is not None
+                and last_block_id >= 0
+            ):
+                # Accounting happens after dispatch within the cycle, so
+                # only the last dispatched micro-op's block matters.
+                self.collector.set_block(last_block_id)
         if obs is not None:
             obs.n_dispatch = n
             obs.n_dispatch_wrong = n_wrong
@@ -546,6 +702,7 @@ def simulate(
     seed: int = 12345,
     warmup_instructions: int = 0,
     topdown: bool = False,
+    fast_forward: bool | None = None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`CoreSimulator` and run it."""
     return CoreSimulator(
@@ -556,4 +713,5 @@ def simulate(
         seed=seed,
         warmup_instructions=warmup_instructions,
         topdown=topdown,
+        fast_forward=fast_forward,
     ).run()

@@ -12,6 +12,7 @@ fall-through/target instruction after the redirect penalty.
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.config.cores import CoreConfig
@@ -70,6 +71,15 @@ class Frontend:
         self.delivered = 0
         self.delivered_wrong = 0
         self.icache_stall_cycles = 0
+        #: uclass -> multi-cycle flag, precomputed (latency_of per
+        #: delivered micro-op showed in profiles).
+        self._multi_cycle = tuple(
+            config.latency_of(uclass) > 1 for uclass in UopClass
+        )
+        #: Synthesized non-load wrong-path micro-ops recur from a small
+        #: set of (class, srcs, dst) combinations; MicroOp is immutable
+        #: and built for sharing, so cache instead of reconstructing.
+        self._wp_uop_cache: dict[tuple, MicroOp] = {}
 
     # -- status ------------------------------------------------------------------
 
@@ -102,6 +112,42 @@ class Frontend:
         ):
             return Component.MICROCODE
         return self._last_reason
+
+    def next_event(self, cycle: int) -> float:
+        """Earliest future cycle at which frontend behaviour can change
+        on its own — the fast-forward engine's frontend bound.
+
+        Returns ``cycle`` itself while the frontend is actively
+        delivering (no skipping allowed), the stall end while fetch is
+        stalled (the stall's expiry changes :meth:`reason` even if the
+        queue stays full), and +inf when only a core-side event (sync
+        release, branch resolution) can wake it.
+        """
+        if self.waiting_sync is not None:
+            # Released by the core at sync commit; core-side events cap
+            # the skip window.
+            return math.inf
+        if cycle < self._stall_until:
+            return float(self._stall_until)
+        if self.idle:
+            return math.inf
+        return float(cycle)
+
+    def note_skipped_cycles(self, cycle: int, k: int, had_room: bool) -> None:
+        """Mirror per-cycle bookkeeping for ``k`` fast-forwarded cycles.
+
+        :meth:`deliver` counts serial I-cache stall cycles when it is
+        called with queue room during a stall; skipped cycles must add
+        the same amount so frontend statistics match a cycle-by-cycle
+        run exactly.
+        """
+        if (
+            had_room
+            and self.waiting_sync is None
+            and cycle < self._stall_until
+            and self._stall_reason is Component.ICACHE
+        ):
+            self.icache_stall_cycles += min(k, self._stall_until - cycle)
 
     # -- control from the core ------------------------------------------------
 
@@ -203,7 +249,7 @@ class Frontend:
             self.seq,
             self.block,
             last_of_instr=last,
-            multi_cycle=self.config.latency_of(uop.uclass) > 1,
+            multi_cycle=self._multi_cycle[uop.uclass],
         )
         self.seq += 1
         self.delivered += 1
@@ -245,35 +291,52 @@ class Frontend:
         """Synthesize wrong-path micro-ops from the configured template."""
         template = self.config.wrong_path
         rng = self._rng
+        rng_random = rng.random
+        rng_randrange = rng.randrange
+        pick_class = template.pick_class
+        load_probe_prob = template.load_probe_prob
+        multi_cycle = self._multi_cycle
+        load_class = UopClass.LOAD
+        wp_cache = self._wp_uop_cache
+        block = self.block
+        seq = self.seq
+        wp_counter = self._wp_counter
+        wp_prev_dst = self._wp_prev_dst
+        out_append = out.append
         for _ in range(budget):
-            uclass = template.pick_class(rng.random())
-            if (
-                uclass is UopClass.LOAD
-                and rng.random() >= template.load_probe_prob
-            ):
+            uclass = pick_class(rng_random())
+            if uclass is load_class and rng_random() >= load_probe_prob:
                 uclass = UopClass.ALU
-            dst = _WP_REG_BASE + self._wp_counter % _WP_REG_COUNT
-            self._wp_counter += 1
+            dst = _WP_REG_BASE + wp_counter % _WP_REG_COUNT
+            wp_counter += 1
             srcs: tuple[int, ...] = ()
-            if self._wp_prev_dst >= 0 and rng.random() < 0.4:
-                srcs = (self._wp_prev_dst,)
-            addr = -1
-            if uclass is UopClass.LOAD:
+            if wp_prev_dst >= 0 and rng_random() < 0.4:
+                srcs = (wp_prev_dst,)
+            if uclass is load_class:
                 addr = max(
                     0,
-                    self._wp_data_addr + rng.randrange(-8192, 8192),
+                    self._wp_data_addr + rng_randrange(-8192, 8192),
                 )
-            uop = MicroOp(uclass, srcs=srcs, dst=dst, addr=addr, size=8)
+                uop = MicroOp(uclass, srcs=srcs, dst=dst, addr=addr, size=8)
+            else:
+                key = (uclass, srcs, dst)
+                uop = wp_cache.get(key)
+                if uop is None:
+                    uop = MicroOp(uclass, srcs=srcs, dst=dst, addr=-1, size=8)
+                    wp_cache[key] = uop
             inflight = InflightUop(
                 uop,
                 None,
-                self.seq,
-                self.block,
+                seq,
+                block,
                 wrong_path=True,
                 last_of_instr=True,
-                multi_cycle=self.config.latency_of(uclass) > 1,
+                multi_cycle=multi_cycle[uclass],
             )
-            self.seq += 1
-            self.delivered_wrong += 1
-            self._wp_prev_dst = dst
-            out.append(inflight)
+            seq += 1
+            wp_prev_dst = dst
+            out_append(inflight)
+        self.seq = seq
+        self.delivered_wrong += budget
+        self._wp_counter = wp_counter
+        self._wp_prev_dst = wp_prev_dst

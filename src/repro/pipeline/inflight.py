@@ -38,6 +38,19 @@ _POOL_OF: tuple[int, ...] = (
     POOL_ALU,     # SYNC
 )
 
+#: Int-indexed lookups for the constructor fast path (one InflightUop is
+#: built per dynamic micro-op; dict/enum lookups here showed in profiles).
+_OPS_OF: tuple[int, ...] = tuple(
+    FLOPS_PER_LANE.get(UopClass(i), 0) for i in range(len(UopClass))
+)
+_IS_VU_NONVFP: tuple[bool, ...] = tuple(
+    UopClass(i) in (UopClass.VEC_INT, UopClass.BROADCAST)
+    for i in range(len(UopClass))
+)
+_LOAD = UopClass.LOAD
+_STORE = UopClass.STORE
+_BRANCH = UopClass.BRANCH
+
 
 class InflightUop:
     """One micro-op instance flowing through the pipeline."""
@@ -99,15 +112,16 @@ class InflightUop:
         self.issue_cycle = -1
         self.complete_cycle = -1
         uclass = uop.uclass
-        self.is_load = uclass is UopClass.LOAD
-        self.is_store = uclass is UopClass.STORE
-        self.is_branch = uclass is UopClass.BRANCH
-        self.multi_cycle = multi_cycle or self.is_load
+        is_load = uclass is _LOAD
+        self.is_load = is_load
+        self.is_store = uclass is _STORE
+        self.is_branch = uclass is _BRANCH
+        self.multi_cycle = multi_cycle or is_load
         self.dcache_miss = False
         self.mispredicted = False
         self.pool = _POOL_OF[uclass]
-        self.ops = FLOPS_PER_LANE.get(uclass, 0)
-        self.is_vu_nonvfp = uclass in (UopClass.VEC_INT, UopClass.BROADCAST)
+        self.ops = _OPS_OF[uclass]
+        self.is_vu_nonvfp = _IS_VU_NONVFP[uclass]
 
     @property
     def ready(self) -> bool:

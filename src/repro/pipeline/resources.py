@@ -22,27 +22,43 @@ class FunctionalUnitPool:
     """Per-cycle functional-unit and port availability."""
 
     __slots__ = ("config", "_mul_busy_until", "_free", "_issue_free",
-                 "_unpipelined")
+                 "_unpipelined", "_unpipelined_flags", "_free_template",
+                 "_issue_width")
 
     def __init__(self, config: CoreConfig) -> None:
         self.config = config
         #: Busy-until cycle for each (unpipelined-capable) multiply unit.
         self._mul_busy_until = [0] * config.mul_units
-        self._free = [0] * _NUM_POOLS
         self._issue_free = 0
         self._unpipelined = frozenset(int(c) for c in config.unpipelined)
+        #: uclass -> unpipelined flag, indexable by IntEnum (set-membership
+        #: on the issue fast path showed in profiles).
+        self._unpipelined_flags = tuple(
+            int(uclass) in self._unpipelined for uclass in UopClass
+        )
+        #: Per-cycle slot counts with all units free (slot 1 = MUL is
+        #: recomputed each cycle from the unpipelined busy times).
+        self._free_template = [
+            config.alu_units,
+            config.mul_units,
+            config.vector_units,
+            config.load_ports,
+            config.store_ports,
+            config.branch_units,
+        ]
+        self._free = list(self._free_template)
+        self._issue_width = config.issue_width
 
     def new_cycle(self, cycle: int) -> None:
         """Reset per-cycle slot counters."""
-        config = self.config
         free = self._free
-        free[0] = config.alu_units
-        free[1] = sum(1 for busy in self._mul_busy_until if busy <= cycle)
-        free[2] = config.vector_units
-        free[3] = config.load_ports
-        free[4] = config.store_ports
-        free[5] = config.branch_units
-        self._issue_free = config.issue_width
+        free[:] = self._free_template
+        mul_free = 0
+        for busy in self._mul_busy_until:
+            if busy <= cycle:
+                mul_free += 1
+        free[1] = mul_free
+        self._issue_free = self._issue_width
 
     def can_issue(self, pool: int) -> bool:
         """True if a micro-op using ``pool`` can start this cycle."""

@@ -1,0 +1,49 @@
+"""Microbenchmark traces for harness health metrics.
+
+Unlike the SPEC-like suite (used for the paper's figures), these traces
+isolate one machine behaviour so the benchmark harness can measure the
+simulator itself — e.g. the quiescent-cycle fast-forward engine, whose
+best case is a core provably stalled on memory for hundreds of cycles.
+They are registered alongside the DeepBench kernels but excluded from
+``SPEC_LIKE_NAMES`` so the Fig. 2 population is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.isa import decoder as asm
+from repro.isa.instructions import Program
+from repro.workloads.base import DATA_BASE, TraceBuilder, permutation_chain
+
+#: Cache-line size assumed when spacing addresses (matches spec_like).
+LINE = 64
+
+
+def chase_like(instructions: int, seed: int = 1) -> Program:
+    """DRAM-latency-bound pointer chase (a memory-latency microbenchmark).
+
+    Serialized dependent loads walk a random permutation chain spaced one
+    cache line apart: every chase load is a cold miss the stream
+    prefetcher cannot anticipate, so each iteration pays the full memory
+    latency while the window fills with dependent work and the core sits
+    provably stalled.  The only branch is the perfectly-predicted loop
+    back edge, so (unlike ``mcf``) no wrong-path delivery breaks up the
+    stall windows — this is the fast-forward engine's best case and the
+    benchmark suite's designated memory-bound trace.
+    """
+    b = TraceBuilder("chase", seed)
+    entries = 65_536  # x 64 B = 4 MB footprint: cold at every cache level
+    chase = permutation_chain(b.rng, entries)
+    cur = 0
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        node_addr = DATA_BASE + cur * LINE
+        # r1 holds the pointer; the next pointer comes from the loaded
+        # node, serializing the chase exactly like mcf's inner loop.
+        b.emit(asm.load(b.pc, dst=2, addr=node_addr, addr_srcs=(1,)))
+        b.emit(asm.alu(b.pc, dst=1, srcs=(2,)))
+        b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+        # Loop-back branch: always taken, perfectly predictable.
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+        cur = chase[cur]
+    return b.program()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.isa.instructions import Program
-from repro.workloads import spec_like
+from repro.workloads import micro, spec_like
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.deepbench import (
     DEEPBENCH_CONFIGS,
@@ -64,6 +64,14 @@ WORKLOADS: dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPEC_SPECS}
 
 #: The SPEC-like suite (used by the Fig. 2 population).
 SPEC_LIKE_NAMES: tuple[str, ...] = tuple(spec.name for spec in _SPEC_SPECS)
+
+#: Microbenchmarks for harness health metrics (not part of the Fig. 2
+#: population; see :mod:`repro.workloads.micro`).
+WORKLOADS["chase"] = WorkloadSpec(
+    "chase", "pointer-chase microbenchmark",
+    "DRAM-latency bound: fast-forward engine best case",
+    micro.chase_like, default_instructions=20_000,
+)
 
 
 def _register_deepbench() -> None:

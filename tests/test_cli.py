@@ -182,3 +182,24 @@ def test_no_strict_flag_disables_guard(capsys):
         if previous is not None:
             os.environ[invariants.ENV_STRICT] = previous
     capsys.readouterr()
+
+
+def test_no_fast_forward_flag_sets_env(capsys):
+    import os
+
+    from repro.pipeline.core import ENV_FAST_FORWARD, fast_forward_default
+
+    previous = os.environ.pop(ENV_FAST_FORWARD, None)
+    try:
+        code = main(["run", "--workload", "exchange2", "--core", "tiny",
+                     "--instructions", "2000", "--no-fast-forward"])
+        assert code == 0
+        assert os.environ.get(ENV_FAST_FORWARD) == "0", (
+            "workers must inherit the escape hatch via the environment"
+        )
+        assert fast_forward_default() is False
+    finally:
+        os.environ.pop(ENV_FAST_FORWARD, None)
+        if previous is not None:
+            os.environ[ENV_FAST_FORWARD] = previous
+    capsys.readouterr()

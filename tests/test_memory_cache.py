@@ -97,6 +97,23 @@ def test_occupancy():
     assert cache.occupancy == 5
 
 
+def test_occupancy_running_count_matches_sets():
+    """The incremental count stays equal to the true set contents through
+    re-inserts, evictions and (double) invalidations."""
+    cache = make_cache(size=512, assoc=2)  # 4 sets: evictions happen fast
+    cache.insert(3)
+    cache.insert(3, dirty=True)  # re-insert: no growth
+    assert cache.occupancy == 1
+    for line in range(20):  # far past capacity: evictions replace victims
+        cache.insert(line)
+    assert cache.occupancy == sum(len(s) for s in cache._sets)
+    assert cache.occupancy == 512 // 64
+    cache.invalidate(19)
+    cache.invalidate(19)  # double-invalidate must not double-count
+    cache.invalidate(12345)  # never present
+    assert cache.occupancy == sum(len(s) for s in cache._sets)
+
+
 def test_miss_rate():
     cache = make_cache()
     cache.lookup(1)   # miss
