@@ -10,6 +10,7 @@ Subcommands::
     repro fig3 --case fig3a [--jobs N]           # one Fig. 3 case study
     repro fig5 [--jobs N]                        # IPC vs FLOPS stacks
     repro overhead                               # accounting overhead
+    repro profile mcf [--core bdw]               # cProfile one simulation
     repro cache stats | clear                    # persistent result cache
     repro failures list | clear                  # persisted failure reports
 
@@ -338,6 +339,54 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulation under cProfile and persist the report."""
+    import cProfile
+    import io
+    import pstats
+    import time
+    from pathlib import Path
+
+    from repro.pipeline.core import CoreSimulator
+    from repro.workloads.registry import make_trace
+
+    instructions = args.instructions or 10_000
+    trace = make_trace(args.workload, instructions, args.seed)
+    config = get_preset(args.core)
+    fast_forward = not args.no_fast_forward
+    sim = CoreSimulator(trace, config, fast_forward=fast_forward)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = sim.run()
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    header = (
+        f"# repro profile {args.workload} --core {args.core} "
+        f"--instructions {instructions}"
+        f"{' --no-fast-forward' if args.no_fast_forward else ''}\n"
+        f"# cycles={result.cycles} committed_uops={result.committed_uops} "
+        f"wall={wall:.3f}s "
+        f"uops_per_second={result.committed_uops / wall:,.0f}\n"
+        f"# top {args.top} functions by cumulative time\n\n"
+    )
+    report = header + buf.getvalue()
+
+    out_dir = Path("results")
+    out_dir.mkdir(exist_ok=True)
+    out_path = out_dir / f"profile_{args.workload}.txt"
+    out_path.write_text(report)
+
+    print(report, end="")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -420,6 +469,28 @@ def build_parser() -> argparse.ArgumentParser:
     ov.add_argument("--core", default="bdw", choices=sorted(PRESETS))
     ov.add_argument("--instructions", type=int, default=None)
     ov.set_defaults(func=_cmd_overhead)
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile one simulation; report lands in results/",
+    )
+    prof.add_argument("workload", choices=sorted(WORKLOADS))
+    prof.add_argument(
+        "--core", "--config", dest="core", default="bdw",
+        choices=sorted(PRESETS),
+        help="machine preset to profile on (default: bdw)",
+    )
+    prof.add_argument("--instructions", type=int, default=None)
+    prof.add_argument("--seed", type=int, default=1)
+    prof.add_argument(
+        "--top", type=int, default=30,
+        help="number of functions in the cumulative-time report",
+    )
+    prof.add_argument(
+        "--no-fast-forward", action="store_true", dest="no_fast_forward",
+        help="profile the cycle-by-cycle loop (every cycle simulated)",
+    )
+    prof.set_defaults(func=_cmd_profile)
 
     fl = sub.add_parser(
         "failures", help="inspect or clear persisted batch failure reports"

@@ -59,6 +59,11 @@ class CommitAccountant:
         the bit-exactness argument (whole 0.0/1.0 increments once the
         normalizer carry is drained).
         """
+        if obs.n_commit == self.norm.width:
+            # Full-width cycles add a whole 1.0 of BASE each and leave the
+            # carry untouched; see DispatchAccountant.observe_repeat.
+            self.stack.add(Component.BASE, float(k))
+            return
         if obs.n_commit:
             for _ in range(k):
                 self.observe(obs)

@@ -123,6 +123,15 @@ class DispatchAccountant:
             n = obs.n_dispatch
         else:
             n = obs.n_dispatch + obs.n_dispatch_wrong
+        if n == self.norm.width:
+            # Exactly full width every cycle: f is 1.0 regardless of any
+            # carry (which passes through unchanged), so each cycle adds a
+            # whole 1.0 of BASE and nothing else — one bulk add of
+            # ``float(k)`` is bit-identical to the iterated adds (all
+            # accounting quantities are multiples of 1/W, exact in binary
+            # floating point for the power-of-two stage widths).
+            self._add(Component.BASE, float(k))
+            return
         if n:
             # Fractional base contribution every cycle: no exact bulk form.
             for _ in range(k):

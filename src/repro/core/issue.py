@@ -127,6 +127,11 @@ class IssueAccountant:
             n = obs.n_issue
         else:
             n = obs.n_issue + obs.n_issue_wrong
+        if n == self.norm.width:
+            # Full-width cycles add a whole 1.0 of BASE each and leave the
+            # carry untouched; see DispatchAccountant.observe_repeat.
+            self._add(Component.BASE, float(k))
+            return
         if n:
             for _ in range(k):
                 self.observe(obs)

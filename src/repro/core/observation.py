@@ -91,6 +91,30 @@ class CycleObservation:
         The pipeline reuses one observation object across cycles (the
         per-cycle allocation showed up in profiles); accountants read the
         observation synchronously and never retain a reference, so reuse
-        is safe.
+        is safe.  Slots are assigned explicitly: routing reset through the
+        dataclass-generated ``__init__`` put keyword processing on the
+        per-cycle profile.
         """
-        self.__init__()
+        self.unscheduled = False
+        self.wrong_path_active = False
+        self.fe_reason = None
+        self.n_dispatch = 0
+        self.n_dispatch_wrong = 0
+        self.uop_queue_empty = False
+        self.window_full = False
+        self.n_issue = 0
+        self.n_issue_wrong = 0
+        self.rs_empty = False
+        self.structural_stall = False
+        self.first_nonready_producer = None
+        self.n_commit = 0
+        self.rob_empty = False
+        self.rob_head = None
+        self.flops_issued = 0.0
+        self.n_vfp_issued = 0
+        self.non_fma_loss_lanes = 0.0
+        self.masked_lanes = 0.0
+        self.vfp_in_rs = False
+        self.vu_used_by_non_vfp = False
+        self.oldest_vfp_producer = None
+        self.vfp_structural = False

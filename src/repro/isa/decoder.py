@@ -25,6 +25,25 @@ from repro.isa.uops import MicroOp, UopClass
 #: Default macro-instruction length in bytes (x86 average is ~4).
 DEFAULT_LENGTH = 4
 
+#: Per-static-instruction decode memo: ``pc -> (argument key, instruction)``.
+#: Workload generators re-decode the same pc with the same arguments on
+#: every loop iteration; :class:`Instruction`/:class:`MicroOp` are frozen
+#: and built for sharing, so the builders return the cached object when
+#: the full argument key matches.  One entry per pc (replaced on an
+#: argument mismatch, e.g. a branch whose resolved direction alternates)
+#: keeps the memo bounded by the static code footprint.
+_DECODE_MEMO: dict[int, tuple[tuple, Instruction]] = {}
+
+
+def clear_decode_memo() -> None:
+    """Drop every memoized decode (test isolation hook)."""
+    _DECODE_MEMO.clear()
+
+
+def decode_memo_size() -> int:
+    """Number of pcs currently memoized."""
+    return len(_DECODE_MEMO)
+
 #: Vector registers reserved as load-op / microcode temporaries.  Rotating
 #: through a pool avoids serializing unrelated load-op instructions on a
 #: single temp register.
@@ -39,7 +58,13 @@ def _temp_reg(pc: int, slot: int = 0) -> int:
 
 def nop(pc: int, *, length: int = DEFAULT_LENGTH) -> Instruction:
     """A no-op macro instruction (still occupies pipeline slots)."""
-    return Instruction(pc=pc, length=length, uops=(MicroOp(UopClass.NOP),))
+    key = ("nop", length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    instr = Instruction(pc=pc, length=length, uops=(MicroOp(UopClass.NOP),))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def alu(
@@ -50,8 +75,15 @@ def alu(
     length: int = DEFAULT_LENGTH,
 ) -> Instruction:
     """Single-cycle integer ALU instruction."""
-    uop = MicroOp(UopClass.ALU, srcs=tuple(srcs), dst=dst)
-    return Instruction(pc=pc, length=length, uops=(uop,))
+    srcs = tuple(srcs)
+    key = ("alu", dst, srcs, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    uop = MicroOp(UopClass.ALU, srcs=srcs, dst=dst)
+    instr = Instruction(pc=pc, length=length, uops=(uop,))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def mul(
@@ -62,8 +94,15 @@ def mul(
     length: int = DEFAULT_LENGTH,
 ) -> Instruction:
     """Multi-cycle integer multiply."""
-    uop = MicroOp(UopClass.MUL, srcs=tuple(srcs), dst=dst)
-    return Instruction(pc=pc, length=length, uops=(uop,))
+    srcs = tuple(srcs)
+    key = ("mul", dst, srcs, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    uop = MicroOp(UopClass.MUL, srcs=srcs, dst=dst)
+    instr = Instruction(pc=pc, length=length, uops=(uop,))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def div(
@@ -74,8 +113,15 @@ def div(
     length: int = DEFAULT_LENGTH,
 ) -> Instruction:
     """Long-latency integer divide."""
-    uop = MicroOp(UopClass.DIV, srcs=tuple(srcs), dst=dst)
-    return Instruction(pc=pc, length=length, uops=(uop,))
+    srcs = tuple(srcs)
+    key = ("div", dst, srcs, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    uop = MicroOp(UopClass.DIV, srcs=srcs, dst=dst)
+    instr = Instruction(pc=pc, length=length, uops=(uop,))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def load(
@@ -88,10 +134,17 @@ def load(
     length: int = DEFAULT_LENGTH,
 ) -> Instruction:
     """Scalar load from ``addr`` into ``dst``."""
+    addr_srcs = tuple(addr_srcs)
+    key = ("load", dst, addr, addr_srcs, size, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
     uop = MicroOp(
-        UopClass.LOAD, srcs=tuple(addr_srcs), dst=dst, addr=addr, size=size
+        UopClass.LOAD, srcs=addr_srcs, dst=dst, addr=addr, size=size
     )
-    return Instruction(pc=pc, length=length, uops=(uop,))
+    instr = Instruction(pc=pc, length=length, uops=(uop,))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def store(
@@ -104,14 +157,21 @@ def store(
     length: int = DEFAULT_LENGTH,
 ) -> Instruction:
     """Scalar store of ``src`` to ``addr``."""
+    addr_srcs = tuple(addr_srcs)
+    key = ("store", src, addr, addr_srcs, size, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
     uop = MicroOp(
         UopClass.STORE,
-        srcs=(src, *tuple(addr_srcs)),
+        srcs=(src, *addr_srcs),
         dst=NO_REG,
         addr=addr,
         size=size,
     )
-    return Instruction(pc=pc, length=length, uops=(uop,))
+    instr = Instruction(pc=pc, length=length, uops=(uop,))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def branch(
@@ -123,8 +183,13 @@ def branch(
     length: int = DEFAULT_LENGTH,
 ) -> Instruction:
     """Conditional branch with resolved direction and target."""
-    uop = MicroOp(UopClass.BRANCH, srcs=tuple(srcs))
-    return Instruction(
+    srcs = tuple(srcs)
+    key = ("branch", taken, target, srcs, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    uop = MicroOp(UopClass.BRANCH, srcs=srcs)
+    instr = Instruction(
         pc=pc,
         length=length,
         uops=(uop,),
@@ -132,6 +197,8 @@ def branch(
         taken=taken,
         target=target,
     )
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def _vector_compute(
@@ -148,32 +215,45 @@ def _vector_compute(
     length: int,
 ) -> Instruction:
     """Shared builder for vector FP / vector int compute instructions."""
+    srcs = tuple(srcs)
+    addr_srcs = tuple(addr_srcs)
+    key = (
+        "vec", uclass, dst, srcs, lanes, width_lanes,
+        mem_addr, addr_srcs, mem_size, length,
+    )
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
     if mem_addr is None:
         uop = MicroOp(
             uclass,
-            srcs=tuple(srcs),
+            srcs=srcs,
             dst=dst,
             lanes=lanes,
             width_lanes=width_lanes,
         )
-        return Instruction(pc=pc, length=length, uops=(uop,))
+        instr = Instruction(pc=pc, length=length, uops=(uop,))
+        _DECODE_MEMO[pc] = (key, instr)
+        return instr
     # Memory-operand form: decode splits into load + compute micro-ops.
     temp = _temp_reg(pc)
     load_uop = MicroOp(
         UopClass.LOAD,
-        srcs=tuple(addr_srcs),
+        srcs=addr_srcs,
         dst=temp,
         addr=mem_addr,
         size=mem_size,
     )
     compute = MicroOp(
         uclass,
-        srcs=(*tuple(srcs), temp),
+        srcs=(*srcs, temp),
         dst=dst,
         lanes=lanes,
         width_lanes=width_lanes,
     )
-    return Instruction(pc=pc, length=length, uops=(load_uop, compute))
+    instr = Instruction(pc=pc, length=length, uops=(load_uop, compute))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def fp_add(
@@ -250,14 +330,21 @@ def vec_int(
     length: int = DEFAULT_LENGTH,
 ) -> Instruction:
     """Integer SIMD op: occupies a vector unit but performs zero FLOPs."""
+    srcs = tuple(srcs)
+    key = ("vec_int", dst, srcs, lanes, width_lanes, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
     uop = MicroOp(
         UopClass.VEC_INT,
-        srcs=tuple(srcs),
+        srcs=srcs,
         dst=dst,
         lanes=lanes,
         width_lanes=width_lanes,
     )
-    return Instruction(pc=pc, length=length, uops=(uop,))
+    instr = Instruction(pc=pc, length=length, uops=(uop,))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def broadcast(
@@ -275,19 +362,30 @@ def broadcast(
 
     With ``mem_addr`` set, decodes into load + broadcast micro-ops.
     """
+    srcs = tuple(srcs)
+    addr_srcs = tuple(addr_srcs)
+    key = (
+        "broadcast", dst, srcs, width_lanes,
+        mem_addr, addr_srcs, mem_size, length,
+    )
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
     if mem_addr is None:
         uop = MicroOp(
             UopClass.BROADCAST,
-            srcs=tuple(srcs),
+            srcs=srcs,
             dst=dst,
             lanes=width_lanes,
             width_lanes=width_lanes,
         )
-        return Instruction(pc=pc, length=length, uops=(uop,))
+        instr = Instruction(pc=pc, length=length, uops=(uop,))
+        _DECODE_MEMO[pc] = (key, instr)
+        return instr
     temp = _temp_reg(pc)
     load_uop = MicroOp(
         UopClass.LOAD,
-        srcs=tuple(addr_srcs),
+        srcs=addr_srcs,
         dst=temp,
         addr=mem_addr,
         size=mem_size,
@@ -299,7 +397,9 @@ def broadcast(
         lanes=width_lanes,
         width_lanes=width_lanes,
     )
-    return Instruction(pc=pc, length=length, uops=(load_uop, bcast))
+    instr = Instruction(pc=pc, length=length, uops=(load_uop, bcast))
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def microcoded_fp(
@@ -319,6 +419,11 @@ def microcoded_fp(
     """
     if n_uops < 2:
         raise ValueError("a microcoded instruction needs at least 2 micro-ops")
+    srcs = tuple(srcs)
+    key = ("microcoded_fp", dst, srcs, n_uops, decode_cycles, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
     uops: list[MicroOp] = []
     prev = NO_REG
     for slot in range(n_uops):
@@ -327,13 +432,15 @@ def microcoded_fp(
         uop_dst = dst if slot == n_uops - 1 else _temp_reg(pc, slot)
         uops.append(MicroOp(uclass, srcs=uop_srcs, dst=uop_dst))
         prev = uop_dst
-    return Instruction(
+    instr = Instruction(
         pc=pc,
         length=length,
         uops=tuple(uops),
         microcoded=True,
         decode_cycles=n_uops if decode_cycles is None else decode_cycles,
     )
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr
 
 
 def sync_yield(
@@ -349,9 +456,15 @@ def sync_yield(
     """
     if cycles <= 0:
         raise ValueError("yield must cover at least one cycle")
-    return Instruction(
+    key = ("sync_yield", cycles, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    instr = Instruction(
         pc=pc,
         length=length,
         uops=(MicroOp(UopClass.SYNC),),
         yield_cycles=cycles,
     )
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr

@@ -26,7 +26,7 @@ from repro.isa.registers import TOTAL_REGS
 from repro.isa.uops import UopClass
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.frontend import Frontend
-from repro.pipeline.inflight import POOL_MUL, InflightUop
+from repro.pipeline.inflight import POOL_MUL, InflightUop, UopPool
 from repro.pipeline.resources import FunctionalUnitPool
 from repro.pipeline.result import SimResult
 
@@ -38,10 +38,57 @@ _MAX_CYCLES_PER_UOP = 400
 #: pool worker processes, which inherit the environment).
 ENV_FAST_FORWARD = "REPRO_FAST_FORWARD"
 
+#: Environment escape hatch for the event-driven issue scheduler.  Set to
+#: "1" to fall back to the legacy full-reservation-station scan (bitwise
+#: identical results; useful for differential testing and bisection).
+#: Inherited by pool worker processes like the other REPRO_* hatches.
+ENV_LEGACY_ISSUE_SCAN = "REPRO_LEGACY_ISSUE_SCAN"
+
 
 def fast_forward_default() -> bool:
     """Fast-forward setting from the environment (on unless ``"0"``)."""
     return os.environ.get(ENV_FAST_FORWARD, "1") != "0"
+
+
+def legacy_issue_scan_default() -> bool:
+    """Legacy issue-scan setting from the environment (off unless ``"1"``)."""
+    return os.environ.get(ENV_LEGACY_ISSUE_SCAN, "0") == "1"
+
+
+class _UopSnapshot:
+    """Frozen :class:`repro.core.blame.BlamableUop` attribute set.
+
+    A batched observation outlives the cycle it was recorded in, but the
+    micro-op records it points at keep evolving (and can be recycled by
+    the pool).  Retaining a snapshot of exactly the attributes the
+    accountants read makes the held observation immune to both.
+    """
+
+    __slots__ = (
+        "is_load", "dcache_miss", "issued", "done", "multi_cycle",
+        "block_id",
+    )
+
+
+class _ObsBuffer:
+    """A retainable observation plus its three blamed-uop snapshots."""
+
+    __slots__ = ("obs", "head", "producer", "vfp")
+
+    def __init__(self) -> None:
+        self.obs = CycleObservation()
+        self.head = _UopSnapshot()
+        self.producer = _UopSnapshot()
+        self.vfp = _UopSnapshot()
+
+
+#: Batch signature for a descheduled (Unsched) cycle.
+_UNSCHED_SIG = ("unsched",)
+
+#: Placeholder in ``_issue_obs_cache`` for a producer field whose value
+#: has not been resolved yet (lazy mode): the ``_oldest_live`` walk and
+#: the producer scan are deferred until something actually reads it.
+_PENDING = object()
 
 
 class CoreSimulator:
@@ -59,6 +106,7 @@ class CoreSimulator:
         accounting_width: int | None = None,
         topdown: bool = False,
         fast_forward: bool | None = None,
+        legacy_issue_scan: bool | None = None,
     ) -> None:
         if config.memory is None:
             raise ValueError("core configuration needs a memory hierarchy")
@@ -73,8 +121,13 @@ class CoreSimulator:
         self.predictor = make_predictor(
             config.predictor, config.predictor_bits, config.btb_entries
         )
+        #: Free-list recycler shared with the frontend: every dynamic
+        #: micro-op record is acquired at delivery and released at commit,
+        #: squash, or (for squashed in-flight work) writeback.
+        self._pool = UopPool()
         self.frontend = Frontend(
-            program, config, self.hierarchy, self.predictor, seed=seed
+            program, config, self.hierarchy, self.predictor, seed=seed,
+            pool=self._pool,
         )
         #: W for the accounting algorithms; overridable to study the
         #: Sec. III-A width-normalization choice (see the width ablation).
@@ -119,15 +172,48 @@ class CoreSimulator:
         self._measure_cycle0 = 0
         self._measure_uops0 = 0
         self._accounting = accounting
-        # Issue-scan quiescence: when a scan issues nothing and no event
+        # Issue quiescence: when a select/scan issues nothing and no event
         # (wakeup, dispatch, squash, store commit, unpipelined-unit release)
-        # has changed scheduler state since, the scan result is identical —
-        # reuse it instead of rescanning.  Pure optimization; bitwise
+        # has changed scheduler state since, the result is identical —
+        # reuse it instead of re-running.  Pure optimization; bitwise
         # identical results.
         self._rs_dirty = True
         self._rs_quiet = False
         self._has_correct_waiting = False
         self._issue_obs_cache: tuple = (None, False, False, None, False)
+        # Event-driven issue scheduling (wakeup/select).  The legacy
+        # full-RS scan is kept behind ``legacy_issue_scan=True`` /
+        # REPRO_LEGACY_ISSUE_SCAN=1 for differential verification; both
+        # produce bitwise-identical results.  In event mode ``self.rs``
+        # stays empty and the scheduler state lives in:
+        #   _ready        (seq, uop) entries whose operands are all ready,
+        #                 walked in seq order by select; lazily pruned
+        #                 (an entry is stale once its uop issued, was
+        #                 squashed, or the record was recycled — detected
+        #                 by the snapshotted seq no longer matching),
+        #   _nonready     correct-path entries dispatched with deps_left>0,
+        #                 in dispatch (= seq) order; fronts popped once
+        #                 permanently invalid (woken, squashed, recycled),
+        #   _nonready_vfp the VFP subset of _nonready,
+        #   _rs_count / _rs_correct / _rs_vfp   occupancy counters,
+        #   _parked       loads waiting on an older same-address store
+        #                 (woken by the store's writeback or by a younger
+        #                 store taking over the forwarding slot).
+        self._legacy_scan = (
+            legacy_issue_scan_default()
+            if legacy_issue_scan is None
+            else legacy_issue_scan
+        )
+        self._event = not self._legacy_scan
+        self._issue = self._issue_scan if self._legacy_scan else \
+            self._issue_select
+        self._ready: list[tuple[int, InflightUop]] = []
+        self._nonready: deque[tuple[int, InflightUop]] = deque()
+        self._nonready_vfp: deque[tuple[int, InflightUop]] = deque()
+        self._rs_count = 0
+        self._rs_correct = 0
+        self._rs_vfp = 0
+        self._parked = 0
         # Quiescent-cycle fast-forward: when every stage is provably
         # stalled until a known future event, jump there in one step and
         # bulk-account the identical cycles.  Bitwise identical results;
@@ -142,6 +228,42 @@ class CoreSimulator:
         # allocation dominated short-stall profiles); accountants never
         # retain a reference.
         self._obs = CycleObservation() if accounting else None
+        # Config scalars hoisted for the fused event-mode step.
+        self._commit_width = config.commit_width
+        self._dispatch_width = config.dispatch_width
+        self._rob_size = config.rob_size
+        self._rs_size = config.rs_size
+        self._sq_size = config.store_queue_size
+        self._uq_size = config.uop_queue_size
+        self._machine_lanes = config.vector_lanes
+        # Signature-batched accounting (event mode, EXACT, no top-down):
+        # consecutive cycles whose accountant-visible observation fields
+        # are identical accumulate into one observe_repeat call.  The
+        # signature covers exactly the fields the dispatch/issue/commit/
+        # flops accountants read in EXACT mode (wrong-path counts are
+        # unread there); SPECULATIVE interleaves per-block events with
+        # observes and SIMPLE reads wrong counts, so both observe every
+        # cycle, as does top-down.  Retained observations use
+        # _UopSnapshot copies so later pipeline activity (or pool
+        # recycling) cannot mutate a batched cycle's blamed micro-ops.
+        self._batch = (
+            accounting
+            and self._event
+            and mode is WrongPathMode.EXACT
+            and not topdown
+        )
+        self._bat_sig: object = None
+        self._bat_k = 0
+        self._bat_cur = _ObsBuffer()
+        self._bat_spare = _ObsBuffer()
+        self._acc_width = self._accounting_width
+        self._vec_units = config.vector_units
+        # Lazy producer resolution: when batching (or not accounting at
+        # all), the fused select stores _PENDING for the two producer
+        # fields and they are resolved on first read.  Sound because the
+        # inputs of the deferred walks only change through events that
+        # set ``_rs_dirty`` and therefore force a new select first.
+        self._lazy_prod = self._batch or not accounting
 
     # -- top-level driver --------------------------------------------------------
 
@@ -152,15 +274,30 @@ class CoreSimulator:
                 self.program.uop_count, 1
             ) + 100_000
         start = time.perf_counter()
-        step = self._step
-        finished = self._finished
-        while not finished():
+        step = self._step_event if self._event else self._step
+        # _finished inlined, cheapest-reject first: on almost every cycle
+        # the ROB (or the dispatch queue) is non-empty, so the check costs
+        # one truthiness test instead of three calls (method + two
+        # frontend properties).
+        frontend = self.frontend
+        rob = self.rob
+        queue = self.uop_queue
+        while (
+            rob
+            or queue
+            or self.unsched_remaining != 0
+            or frontend.waiting_sync is not None
+            or frontend.wrong_path
+            or frontend._idx < frontend._count
+            or frontend._decoded_idx < frontend._decoded_len
+        ):
             step()
             if self.cycle > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"(likely a scheduling deadlock) for {self.program.name}"
                 )
+        self._flush_batch()
         wall = time.perf_counter() - start
         measured_cycles = self.cycle - self._measure_cycle0
         measured_uops = self.committed_uops - self._measure_uops0
@@ -239,6 +376,9 @@ class CoreSimulator:
 
     def _end_warmup(self) -> None:
         """Restart measurement with warm caches/TLBs/predictor state."""
+        # The warmup-crossing cycle may sit in a pending batch; it belongs
+        # to the warmup collector, so flush before the swap.
+        self._flush_batch()
         self._warmed = True
         self._measure_cycle0 = self.cycle
         self._measure_uops0 = self.committed_uops
@@ -250,6 +390,762 @@ class CoreSimulator:
                 vector_lanes=self.config.vector_lanes,
                 topdown=self._topdown,
             )
+
+    # -- signature-batched accounting (event mode) --------------------------------
+
+    def _flush_batch(self) -> None:
+        """Deliver the pending run of identical cycles to the collector."""
+        k = self._bat_k
+        if k:
+            self._bat_k = 0
+            self._bat_sig = None
+            self.collector.observe_repeat(self._bat_cur.obs, k)
+
+    def _retain(
+        self,
+        sig: tuple,
+        k: int,
+        n_dispatch: int,
+        n_dispatch_wrong: int,
+        n_issue: int,
+        n_issue_wrong: int,
+        n_commit: int,
+        flops_issued: float,
+        n_vfp: int,
+        non_fma_loss: float,
+        masked: float,
+        queue_empty: bool,
+        window_full: bool,
+        rob_empty: bool,
+        rs_empty: bool,
+        structural: bool,
+        vfp_in_rs: bool,
+        vu_non_vfp: bool,
+        vfp_structural: bool,
+        wp_active: bool,
+        fe_reason: Component | None,
+        head: InflightUop | None,
+        producer: InflightUop | None,
+        vfp_producer: InflightUop | None,
+    ) -> None:
+        """Flush the previous batch and start a new one for ``sig``.
+
+        The blamed micro-ops are copied into the buffer's snapshots: the
+        observation is not consumed until the batch flushes, by which time
+        the live records may have issued, completed, or been recycled.
+        """
+        self._flush_batch()
+        buf = self._bat_spare
+        self._bat_spare = self._bat_cur
+        self._bat_cur = buf
+        obs = buf.obs
+        obs.unscheduled = False
+        obs.wrong_path_active = wp_active
+        obs.fe_reason = fe_reason
+        obs.n_dispatch = n_dispatch
+        obs.n_dispatch_wrong = n_dispatch_wrong
+        obs.uop_queue_empty = queue_empty
+        obs.window_full = window_full
+        obs.n_issue = n_issue
+        obs.n_issue_wrong = n_issue_wrong
+        obs.rs_empty = rs_empty
+        obs.structural_stall = structural
+        obs.n_commit = n_commit
+        obs.rob_empty = rob_empty
+        obs.flops_issued = flops_issued
+        obs.n_vfp_issued = n_vfp
+        obs.non_fma_loss_lanes = non_fma_loss
+        obs.masked_lanes = masked
+        obs.vfp_in_rs = vfp_in_rs
+        obs.vu_used_by_non_vfp = vu_non_vfp
+        obs.vfp_structural = vfp_structural
+        if head is None:
+            obs.rob_head = None
+        else:
+            snap = buf.head
+            snap.is_load = head.is_load
+            snap.dcache_miss = head.dcache_miss
+            snap.issued = head.issued
+            snap.done = head.done
+            snap.multi_cycle = head.multi_cycle
+            snap.block_id = head.block_id
+            obs.rob_head = snap
+        if producer is None:
+            obs.first_nonready_producer = None
+        else:
+            snap = buf.producer
+            snap.is_load = producer.is_load
+            snap.dcache_miss = producer.dcache_miss
+            snap.issued = producer.issued
+            snap.done = producer.done
+            snap.multi_cycle = producer.multi_cycle
+            snap.block_id = producer.block_id
+            obs.first_nonready_producer = snap
+        if vfp_producer is None:
+            obs.oldest_vfp_producer = None
+        else:
+            snap = buf.vfp
+            snap.is_load = vfp_producer.is_load
+            snap.dcache_miss = vfp_producer.dcache_miss
+            snap.issued = vfp_producer.issued
+            snap.done = vfp_producer.done
+            snap.multi_cycle = vfp_producer.multi_cycle
+            snap.block_id = vfp_producer.block_id
+            obs.oldest_vfp_producer = snap
+        self._bat_sig = sig
+        self._bat_k = k
+
+    # -- fused event-mode cycle ---------------------------------------------------
+
+    def _step_event(self) -> None:
+        """One cycle of the event-driven pipeline, stages fused inline.
+
+        Semantically identical to :meth:`_step` with the event-mode issue
+        select; the fusion removes per-stage call/observation overhead and
+        enables signature batching: under ``_batch`` the observation
+        object is only materialized when the accountant-visible signature
+        changes, and runs of identical cycles collapse into one
+        ``observe_repeat`` (bit-identical — observe_repeat itself is the
+        proven-equivalent bulk form used by fast-forward).
+        """
+        cycle = self.cycle
+        collector = self.collector
+        batch = self._batch
+
+        if self.unsched_remaining > 0:
+            # Core descheduled: nothing moves; the cycle is Unsched.
+            self.unsched_remaining -= 1
+            if self.unsched_remaining == 0:
+                self.frontend.sync_released()
+            if collector is not None:
+                if batch:
+                    if self._bat_sig is _UNSCHED_SIG:
+                        self._bat_k += 1
+                    else:
+                        self._flush_batch()
+                        buf = self._bat_spare
+                        self._bat_spare = self._bat_cur
+                        self._bat_cur = buf
+                        obs = buf.obs
+                        obs.reset()
+                        obs.unscheduled = True
+                        self._bat_sig = _UNSCHED_SIG
+                        self._bat_k = 1
+                else:
+                    obs = self._obs
+                    obs.reset()
+                    obs.unscheduled = True
+                    collector.observe(obs)
+            self.cycle = cycle + 1
+            return
+
+        if self._fast_forward and self._rs_quiet and not self._rs_dirty:
+            k = self._quiescent_cycles(cycle)
+            if k > 0:
+                self._ff_event(cycle, k)
+                return
+
+        frontend = self.frontend
+        completions = self.completions
+        spec_mode = self._spec_mode
+        wb_free_append = self._pool._free.append
+
+        # ---- writeback ----------------------------------------------------
+        finishing = completions.pop(cycle, None)
+        if finishing:
+            self._rs_dirty = True
+            ready_append = self._ready.append
+            for uop in finishing:
+                if uop.squashed:
+                    # UopPool.release inlined (wrong-path writeback is
+                    # the hot recycle path under heavy misprediction).
+                    uop.producers.clear()
+                    uop.consumers.clear()
+                    uop.waiters = None
+                    wb_free_append(uop)
+                    continue
+                uop.done = True
+                consumers = uop.consumers
+                if consumers:
+                    for consumer in consumers:
+                        if consumer.squashed:
+                            continue
+                        left = consumer.deps_left - 1
+                        consumer.deps_left = left
+                        if left == 0:
+                            ready_append((consumer.seq, consumer))
+                        consumer.producers.remove(uop)
+                    consumers.clear()
+                waiters = uop.waiters
+                if waiters is not None:
+                    uop.waiters = None
+                    for wseq, load in waiters:
+                        if load.seq == wseq and load.parked:
+                            load.parked = False
+                            self._parked -= 1
+                            ready_append((wseq, load))
+                if uop.mispredicted:
+                    self._squash(uop)
+                    frontend.redirect(cycle)
+                    if spec_mode and collector is not None:
+                        collector.on_squash(uop.block_id)
+
+        # ---- commit -------------------------------------------------------
+        rob = self.rob
+        n_commit = 0
+        if rob and rob[0].done:
+            last_writer = self.last_writer
+            pending_stores = self.pending_stores
+            width = self._commit_width
+            committed_uops = self.committed_uops
+            while n_commit < width and rob and rob[0].done:
+                uop = rob.popleft()
+                committed_uops += 1
+                n_commit += 1
+                if uop.is_store:
+                    self.sq_count -= 1
+                    addr = uop.uop.addr
+                    if pending_stores.get(addr) is uop:
+                        del pending_stores[addr]
+                        self._rs_dirty = True  # forwarding window closed
+                stop = False
+                if uop.last_of_instr:
+                    self.committed_instrs += 1
+                    instr = uop.instr
+                    if uop.is_branch and spec_mode and collector is not None:
+                        collector.on_block_commit(uop.block_id)
+                    if instr is not None and instr.yield_cycles > 0:
+                        self.unsched_remaining = instr.yield_cycles
+                        stop = True
+                dst = uop.uop.dst
+                if dst >= 0 and last_writer[dst] is uop:
+                    last_writer[dst] = None
+                # UopPool.release inlined (one call per committed uop).
+                uop.producers.clear()
+                uop.consumers.clear()
+                uop.waiters = None
+                wb_free_append(uop)
+                if stop:
+                    break
+            self.committed_uops = committed_uops
+        rob_empty = not rob
+        head = rob[0] if rob else None
+
+        # ---- issue --------------------------------------------------------
+        if self._rs_quiet and not self._rs_dirty:
+            # Nothing changed since a select that issued nothing: reuse it.
+            (
+                first_producer,
+                structural,
+                vfp_in_rs,
+                oldest_vfp_producer,
+                vfp_structural,
+            ) = self._issue_obs_cache
+            rs_empty = not self._has_correct_waiting
+            n_issue = 0
+            n_issue_wrong = 0
+            flops_issued = 0.0
+            n_vfp = 0
+            non_fma_loss = 0.0
+            masked = 0.0
+            vu_non_vfp = False
+        else:
+            fu = self.fu
+            machine_lanes = self._machine_lanes
+            pending_stores = self.pending_stores
+            # fu.begin_issue inlined (one call per active cycle): reset
+            # the per-cycle slot counters, recomputing MUL availability
+            # from the unpipelined busy times.
+            free = fu._free
+            free[:] = fu._free_template
+            mul_free = 0
+            for busy in fu._mul_busy_until:
+                if busy <= cycle:
+                    mul_free += 1
+            free[1] = mul_free
+            issue_free = fu._issue_width
+            unpipelined = fu._unpipelined_flags
+            n_issue = 0
+            n_issue_wrong = 0
+            structural = False
+            vfp_structural = False
+            vu_non_vfp = False
+            flops_issued = 0.0
+            n_vfp = 0
+            non_fma_loss = 0.0
+            masked = 0.0
+            ready = self._ready
+            if ready:
+                ready.sort()
+                keep: list[tuple[int, InflightUop]] = []
+                keep_append = keep.append
+                parked = self._parked
+                rs_count = self._rs_count
+                rs_correct = self._rs_correct
+                rs_vfp = self._rs_vfp
+                reserve_mul = fu._reserve_mul
+                hierarchy = self.hierarchy
+                latency_of = self._latency_of
+                ceil = math.ceil
+                for entry in ready:
+                    seq, uop = entry
+                    if uop.seq != seq or uop.squashed:
+                        continue  # stale: issued+recycled, or squashed
+                    static = uop.uop
+                    is_load = uop.is_load
+                    forward_store: InflightUop | None = None
+                    if is_load and not uop.wrong_path:
+                        store = pending_stores.get(static.addr)
+                        if (
+                            store is not None
+                            and store.seq < seq
+                            and not store.squashed
+                        ):
+                            if store.done:
+                                forward_store = store
+                            else:
+                                # Address conflict: park on the older store.
+                                structural = True
+                                uop.parked = True
+                                parked += 1
+                                if store.waiters is None:
+                                    store.waiters = [entry]
+                                else:
+                                    store.waiters.append(entry)
+                                continue
+                    pool = uop.pool
+                    if issue_free > 0 and free[pool] > 0:
+                        # _execute inlined (classification comes from the
+                        # precomputed record slots, not the enum).
+                        uop.issued = True
+                        if is_load:
+                            if uop.wrong_path:
+                                complete = int(ceil(
+                                    hierarchy.probe_latency(static.addr, cycle)
+                                ))
+                            elif forward_store is not None:
+                                complete = cycle + 1
+                            else:
+                                result = hierarchy.dload(static.addr, cycle)
+                                complete = int(ceil(result.complete))
+                                uop.dcache_miss = not result.l1_hit
+                            if complete <= cycle:
+                                complete = cycle + 1
+                        elif uop.is_store:
+                            if not uop.wrong_path:
+                                hierarchy.dstore(static.addr, cycle)
+                            complete = cycle + 1
+                        else:
+                            uclass = static.uclass
+                            latency = latency_of[uclass]
+                            complete = cycle + latency
+                            if complete <= cycle:
+                                complete = cycle + 1
+                            if pool == POOL_MUL and unpipelined[uclass]:
+                                reserve_mul(cycle, latency)
+                        bucket = completions.get(complete)
+                        if bucket is None:
+                            completions[complete] = [uop]
+                        else:
+                            bucket.append(uop)
+                        issue_free -= 1
+                        free[pool] -= 1
+                        rs_count -= 1
+                        if uop.wrong_path:
+                            n_issue_wrong += 1
+                        else:
+                            n_issue += 1
+                            rs_correct -= 1
+                            ops = uop.ops
+                            if ops:
+                                rs_vfp -= 1
+                                lanes = static.lanes
+                                if lanes > machine_lanes:
+                                    lanes = machine_lanes
+                                flops_issued += ops * lanes
+                                n_vfp += 1
+                                non_fma_loss += (2 - ops) * lanes
+                                masked += machine_lanes - lanes
+                            elif uop.is_vu_nonvfp:
+                                vu_non_vfp = True
+                        continue  # issued: leaves the reservation stations
+                    structural = True
+                    if not uop.wrong_path and uop.ops:
+                        vfp_structural = True
+                    keep_append(entry)
+                self._ready = keep
+                self._parked = parked
+                self._rs_count = rs_count
+                self._rs_correct = rs_correct
+                self._rs_vfp = rs_vfp
+            if self._parked:
+                structural = True
+            fu._issue_free = issue_free
+            correct_waiting = self._rs_correct
+            vfp_in_rs = self._rs_vfp > 0
+            if self._lazy_prod:
+                first_producer = _PENDING
+                oldest_vfp_producer = _PENDING
+            else:
+                first_nonready = self._oldest_live(self._nonready)
+                oldest_vfp_nonready = self._oldest_live(self._nonready_vfp)
+                first_producer = (
+                    first_nonready.first_unfinished_producer()
+                    if first_nonready is not None
+                    else None
+                )
+                oldest_vfp_producer = (
+                    oldest_vfp_nonready.first_unfinished_producer()
+                    if oldest_vfp_nonready is not None
+                    else None
+                )
+            self._rs_dirty = False
+            self._rs_quiet = n_issue + n_issue_wrong == 0
+            self._has_correct_waiting = correct_waiting > 0
+            self._issue_obs_cache = (
+                first_producer,
+                structural,
+                vfp_in_rs,
+                oldest_vfp_producer,
+                vfp_structural,
+            )
+            rs_empty = correct_waiting == 0
+
+        # ---- dispatch -----------------------------------------------------
+        queue = self.uop_queue
+        n_dispatch = 0
+        n_dispatch_wrong = 0
+        queue_empty = False
+        window_full = False
+        last_block_id = -1
+        width = self._dispatch_width
+        rob_size = self._rob_size
+        rs_size = self._rs_size
+        sq_size = self._sq_size
+        rs_count = self._rs_count
+        rs_correct = self._rs_correct
+        rs_vfp = self._rs_vfp
+        sq_count = self.sq_count
+        rob_len = len(rob)
+        pending_stores = self.pending_stores
+        last_writer = self.last_writer
+        ready_append = self._ready.append
+        nonready_append = self._nonready.append
+        nonready_vfp_append = self._nonready_vfp.append
+        rob_append = rob.append
+        while n_dispatch + n_dispatch_wrong < width:
+            if not queue:
+                queue_empty = True
+                break
+            uop = queue[0]
+            is_store = uop.is_store
+            if (
+                rob_len >= rob_size
+                or rs_count >= rs_size
+                or (is_store and sq_count >= sq_size)
+            ):
+                window_full = True
+                break
+            queue.popleft()
+            # _rename inlined (records come from the pool with
+            # deps_left == 0 and empty edge lists).
+            static = uop.uop
+            deps = 0
+            for src in static.srcs:
+                producer = last_writer[src]
+                if (
+                    producer is not None
+                    and not producer.done
+                    and not producer.squashed
+                ):
+                    uop.producers.append(producer)
+                    producer.consumers.append(uop)
+                    deps += 1
+            uop.deps_left = deps
+            dst = static.dst
+            if dst >= 0:
+                last_writer[dst] = uop
+            rob_append(uop)
+            rob_len += 1
+            rs_count += 1
+            entry = (uop.seq, uop)
+            if deps == 0:
+                ready_append(entry)
+            wrong = uop.wrong_path
+            if not wrong:
+                rs_correct += 1
+                ops = uop.ops
+                if ops:
+                    rs_vfp += 1
+                if deps:
+                    nonready_append(entry)
+                    if ops:
+                        nonready_vfp_append(entry)
+            if is_store:
+                sq_count += 1
+                if not wrong and static.addr >= 0:
+                    addr = static.addr
+                    prev = pending_stores.get(addr)
+                    if prev is not None and prev.waiters is not None:
+                        # A younger store takes over the forwarding slot:
+                        # wake loads parked on the old one (see _dispatch).
+                        waiters = prev.waiters
+                        prev.waiters = None
+                        for wseq, load in waiters:
+                            if load.seq == wseq and load.parked:
+                                load.parked = False
+                                self._parked -= 1
+                                ready_append((wseq, load))
+                    pending_stores[addr] = uop
+            if wrong:
+                n_dispatch_wrong += 1
+            else:
+                n_dispatch += 1
+            last_block_id = uop.block_id
+        self._rs_count = rs_count
+        self._rs_correct = rs_correct
+        self._rs_vfp = rs_vfp
+        self.sq_count = sq_count
+        if n_dispatch or n_dispatch_wrong:
+            self._rs_dirty = True
+            if spec_mode and collector is not None and last_block_id >= 0:
+                collector.set_block(last_block_id)
+        if window_full and head is None and rob:
+            head = rob[0]
+
+        # ---- frontend sample + fetch --------------------------------------
+        if collector is not None:
+            # Sample before fetch can clear a just-ended stall's reason.
+            # Frontend.reason inlined (keep the branch order in sync with
+            # it): two calls per cycle — the method plus the
+            # trace_exhausted property — showed in profiles.
+            wrong_path = frontend.wrong_path
+            if frontend.waiting_sync is not None:
+                fe_reason = Component.UNSCHED
+            elif cycle < frontend._stall_until:
+                fe_reason = frontend._stall_reason
+            elif wrong_path:
+                fe_reason = Component.BPRED
+            elif (
+                frontend._idx >= frontend._count
+                and frontend._decoded_idx >= frontend._decoded_len
+            ):
+                fe_reason = None
+            else:
+                pending = frontend._pending_instr
+                if pending is not None and pending.microcoded:
+                    fe_reason = Component.MICROCODE
+                else:
+                    fe_reason = frontend._last_reason
+            wp_active = wrong_path or fe_reason is Component.BPRED
+        room = self._uq_size - len(queue)
+        if room > 0:
+            frontend.deliver(cycle, room, queue)
+
+        # ---- accounting ---------------------------------------------------
+        if collector is not None:
+            if batch:
+                # The blamed-uop sub-signatures cover only what EXACT-mode
+                # accountants can read (block_id feeds the speculative
+                # counter file, which is None here).  ``False`` marks a
+                # field that is provably unread this cycle — the stall
+                # branch that would consult it cannot be reached — so
+                # cycles may batch across different (unread) micro-ops.
+                # Readability is a function of sig-covered fields, so
+                # every cycle in a batch agrees with the retained one.
+                acc_w = self._acc_width
+                if (
+                    n_commit >= acc_w
+                    and not (
+                        window_full
+                        and (n_dispatch < acc_w or n_issue < acc_w)
+                    )
+                ):
+                    head_sig: object = False  # f >= 1.0 in every reader
+                elif head is None:
+                    head_sig = None
+                else:
+                    head_sig = (
+                        head.done, head.is_load, head.dcache_miss,
+                        head.issued, head.multi_cycle,
+                    )
+                if n_issue >= acc_w or rs_empty or structural:
+                    prod_sig: object = False  # issue never reaches prod()
+                    first_producer = None
+                else:
+                    if first_producer is _PENDING:
+                        cache = self._resolve_issue_obs()
+                        first_producer = cache[0]
+                        oldest_vfp_producer = cache[3]
+                    if first_producer is None:
+                        prod_sig = None
+                    else:
+                        prod_sig = (
+                            first_producer.is_load,
+                            first_producer.dcache_miss,
+                            first_producer.issued,
+                            first_producer.multi_cycle,
+                        )
+                if not vfp_in_rs or vu_non_vfp or n_vfp >= self._vec_units:
+                    vfp_sig: object = False  # slot loss never reaches it
+                    oldest_vfp_producer = None
+                else:
+                    if oldest_vfp_producer is _PENDING:
+                        oldest_vfp_producer = self._resolve_issue_obs()[3]
+                    vfp_sig = (
+                        None if oldest_vfp_producer is None
+                        else oldest_vfp_producer.is_load
+                    )
+                sig = (
+                    n_dispatch, n_issue, n_commit, flops_issued, n_vfp,
+                    non_fma_loss, masked, queue_empty, window_full,
+                    rob_empty, rs_empty, structural, vfp_in_rs, vu_non_vfp,
+                    wp_active, fe_reason, head_sig, prod_sig, vfp_sig,
+                )
+                if sig == self._bat_sig:
+                    self._bat_k += 1
+                else:
+                    self._retain(
+                        sig, 1, n_dispatch, n_dispatch_wrong, n_issue,
+                        n_issue_wrong, n_commit, flops_issued, n_vfp,
+                        non_fma_loss, masked, queue_empty, window_full,
+                        rob_empty, rs_empty, structural, vfp_in_rs,
+                        vu_non_vfp, vfp_structural, wp_active, fe_reason,
+                        head, first_producer, oldest_vfp_producer,
+                    )
+            else:
+                obs = self._obs
+                obs.reset()
+                obs.wrong_path_active = wp_active
+                obs.fe_reason = fe_reason
+                obs.n_dispatch = n_dispatch
+                obs.n_dispatch_wrong = n_dispatch_wrong
+                obs.uop_queue_empty = queue_empty
+                obs.window_full = window_full
+                obs.n_issue = n_issue
+                obs.n_issue_wrong = n_issue_wrong
+                obs.rs_empty = rs_empty
+                obs.structural_stall = structural
+                obs.first_nonready_producer = first_producer
+                obs.n_commit = n_commit
+                obs.rob_empty = rob_empty
+                obs.rob_head = head
+                obs.flops_issued = flops_issued
+                obs.n_vfp_issued = n_vfp
+                obs.non_fma_loss_lanes = non_fma_loss
+                obs.masked_lanes = masked
+                obs.vfp_in_rs = vfp_in_rs
+                obs.vu_used_by_non_vfp = vu_non_vfp
+                obs.vfp_structural = vfp_structural
+                obs.oldest_vfp_producer = oldest_vfp_producer
+                collector.observe(obs)
+        self.cycle = cycle + 1
+        if (
+            not self._warmed
+            and self.committed_instrs >= self.warmup_instructions
+        ):
+            self._end_warmup()
+
+    def _ff_event(self, cycle: int, k: int) -> None:
+        """Event-mode fast-forward: jump ``k`` quiescent cycles.
+
+        Like :meth:`_fast_forward_by`, but batch-aware: when the window's
+        observation signature matches the pending batch, the ``k`` cycles
+        merge into it instead of forcing a flush on either side.
+        """
+        frontend = self.frontend
+        room = self._uq_size - len(self.uop_queue)
+        frontend.note_skipped_cycles(cycle, k, room > 0)
+        self.ff_windows += 1
+        self.ff_cycles_skipped += k
+        collector = self.collector
+        if collector is not None:
+            rob = self.rob
+            head = rob[0] if rob else None
+            rob_empty = not rob
+            (
+                first_producer,
+                structural,
+                vfp_in_rs,
+                oldest_vfp_producer,
+                vfp_structural,
+            ) = self._issue_obs_cache
+            rs_empty = not self._has_correct_waiting
+            queue_empty = not self.uop_queue
+            window_full = not queue_empty
+            fe_reason = frontend.reason(cycle)
+            wp_active = (
+                frontend.wrong_path or fe_reason is Component.BPRED
+            )
+            if self._batch:
+                # Same conditional sub-signatures as _step_event; with all
+                # counts zero, only the branch conditions can exclude.
+                if head is None:
+                    head_sig: object = None
+                else:
+                    head_sig = (
+                        head.done, head.is_load, head.dcache_miss,
+                        head.issued, head.multi_cycle,
+                    )
+                if rs_empty or structural:
+                    prod_sig: object = False
+                    first_producer = None
+                else:
+                    if first_producer is _PENDING:
+                        cache = self._resolve_issue_obs()
+                        first_producer = cache[0]
+                        oldest_vfp_producer = cache[3]
+                    if first_producer is None:
+                        prod_sig = None
+                    else:
+                        prod_sig = (
+                            first_producer.is_load,
+                            first_producer.dcache_miss,
+                            first_producer.issued,
+                            first_producer.multi_cycle,
+                        )
+                if not vfp_in_rs:
+                    vfp_sig: object = False
+                    oldest_vfp_producer = None
+                else:
+                    if oldest_vfp_producer is _PENDING:
+                        oldest_vfp_producer = self._resolve_issue_obs()[3]
+                    vfp_sig = (
+                        None if oldest_vfp_producer is None
+                        else oldest_vfp_producer.is_load
+                    )
+                sig = (
+                    0, 0, 0, 0.0, 0, 0.0, 0.0, queue_empty, window_full,
+                    rob_empty, rs_empty, structural, vfp_in_rs, False,
+                    wp_active, fe_reason, head_sig, prod_sig, vfp_sig,
+                )
+                if sig == self._bat_sig:
+                    self._bat_k += k
+                else:
+                    self._retain(
+                        sig, k, 0, 0, 0, 0, 0, 0.0, 0, 0.0, 0.0,
+                        queue_empty, window_full, rob_empty, rs_empty,
+                        structural, vfp_in_rs, False, vfp_structural,
+                        wp_active, fe_reason, head, first_producer,
+                        oldest_vfp_producer,
+                    )
+            else:
+                obs = self._obs
+                obs.reset()
+                obs.rob_empty = rob_empty
+                obs.rob_head = head
+                obs.first_nonready_producer = first_producer
+                obs.structural_stall = structural
+                obs.vfp_in_rs = vfp_in_rs
+                obs.oldest_vfp_producer = oldest_vfp_producer
+                obs.vfp_structural = vfp_structural
+                obs.rs_empty = rs_empty
+                obs.uop_queue_empty = queue_empty
+                obs.window_full = window_full
+                obs.fe_reason = fe_reason
+                obs.wrong_path_active = wp_active
+                collector.observe_repeat(obs, k)
+        self.cycle = cycle + k
 
     # -- quiescent-cycle fast-forward ---------------------------------------------
 
@@ -284,13 +1180,12 @@ class CoreSimulator:
         if rob and rob[0].done:
             return 0  # commit would retire (and could end warmup / sync)
         queue = self.uop_queue
-        config = self.config
         if queue:
             head = queue[0]
             if not (
-                len(rob) >= config.rob_size
-                or len(self.rs) >= config.rs_size
-                or (head.is_store and self.sq_count >= config.store_queue_size)
+                len(rob) >= self._rob_size
+                or self._rs_count >= self._rs_size
+                or (head.is_store and self.sq_count >= self._sq_size)
             ):
                 return 0  # dispatch would make progress
         completions = self.completions
@@ -299,7 +1194,7 @@ class CoreSimulator:
             return 0  # a writeback happens this very cycle
         fe_next = self.frontend.next_event(cycle)
         if fe_next <= cycle:
-            room = config.uop_queue_size - len(queue)
+            room = self._uq_size - len(queue)
             if room > 0:
                 return 0  # frontend would deliver into the queue
             # Queue full: _fetch skips deliver() entirely, freezing the
@@ -330,7 +1225,7 @@ class CoreSimulator:
                 obs.vfp_in_rs,
                 obs.oldest_vfp_producer,
                 obs.vfp_structural,
-            ) = self._issue_obs_cache
+            ) = self._resolve_issue_obs()
             obs.rs_empty = not self._has_correct_waiting
             queue_empty = not self.uop_queue
             obs.uop_queue_empty = queue_empty
@@ -350,13 +1245,40 @@ class CoreSimulator:
         if not finishing:
             return
         self._rs_dirty = True
+        event = self._event
+        release = self._pool.release
         for uop in finishing:
             if uop.squashed:
+                # Squash-released work whose completion was still pending;
+                # its record becomes recyclable only now.
+                release(uop)
                 continue
             uop.done = True
-            for consumer in uop.consumers:
-                if not consumer.squashed:
-                    consumer.deps_left -= 1
+            consumers = uop.consumers
+            if consumers:
+                for consumer in consumers:
+                    if consumer.squashed:
+                        continue
+                    left = consumer.deps_left - 1
+                    consumer.deps_left = left
+                    if left == 0 and event:
+                        self._ready.append((consumer.seq, consumer))
+                    # Sever the back edge so recycling this record cannot
+                    # leave a dangling producer reference.  Equivalent for
+                    # first_unfinished_producer(): done producers were
+                    # skipped anyway.
+                    consumer.producers.remove(uop)
+                consumers.clear()
+            waiters = uop.waiters
+            if waiters is not None:
+                # Store completed: loads parked on the address conflict
+                # become schedulable (they re-check forwarding at select).
+                uop.waiters = None
+                for seq, load in waiters:
+                    if load.seq == seq and load.parked:
+                        load.parked = False
+                        self._parked -= 1
+                        self._ready.append((seq, load))
             if uop.mispredicted:
                 self._squash(uop)
                 self.frontend.redirect(cycle)
@@ -365,6 +1287,8 @@ class CoreSimulator:
 
     def _commit(self, cycle: int, obs: CycleObservation | None) -> None:
         rob = self.rob
+        last_writer = self.last_writer
+        release = self._pool.release
         width = self.config.commit_width
         n = 0
         while n < width and rob and rob[0].done:
@@ -377,6 +1301,7 @@ class CoreSimulator:
                 if self.pending_stores.get(addr) is uop:
                     del self.pending_stores[addr]
                     self._rs_dirty = True  # forwarding window closed
+            stop = False
             if uop.last_of_instr:
                 self.committed_instrs += 1
                 instr = uop.instr
@@ -389,13 +1314,27 @@ class CoreSimulator:
                 if instr is not None and instr.yield_cycles > 0:
                     # Sync point: the core deschedules starting next cycle.
                     self.unsched_remaining = instr.yield_cycles
-                    break
+                    stop = True
+            # Retirement severs the rename-table entry (rename skips done
+            # producers, so dropping it is semantically a no-op) and
+            # recycles the record.
+            dst = uop.uop.dst
+            if dst >= 0 and last_writer[dst] is uop:
+                last_writer[dst] = None
+            release(uop)
+            if stop:
+                break
         if obs is not None:
             obs.n_commit = n
             obs.rob_empty = not rob
             obs.rob_head = rob[0] if rob else None
 
-    def _issue(self, cycle: int, obs: CycleObservation | None) -> None:
+    def _issue_scan(self, cycle: int, obs: CycleObservation | None) -> None:
+        """Legacy issue stage: full reservation-station scan.
+
+        Kept behind ``legacy_issue_scan=True`` / REPRO_LEGACY_ISSUE_SCAN=1
+        as the differential reference for :meth:`_issue_select`.
+        """
         # Note: unpipelined-unit releases coincide with their micro-op's
         # completion, so the writeback dirty flag already covers them.
         if self._rs_quiet and not self._rs_dirty:
@@ -412,15 +1351,12 @@ class CoreSimulator:
                 obs.rs_empty = not self._has_correct_waiting
             return
         fu = self.fu
-        fu.new_cycle(cycle)
         config = self.config
         machine_lanes = config.vector_lanes
         pending_stores = self.pending_stores
         # FU availability inlined from FunctionalUnitPool.can_issue/take
         # (two method calls per scanned reservation-station entry).
-        free = fu._free
-        issue_free = fu._issue_free
-        unpipelined = fu._unpipelined_flags
+        free, issue_free, unpipelined = fu.begin_issue(cycle)
 
         n_issue = 0
         n_issue_wrong = 0
@@ -503,8 +1439,226 @@ class CoreSimulator:
                             oldest_vfp_nonready = uop
             new_rs_append(uop)
         self.rs = new_rs
+        self._rs_count = len(new_rs)
         fu._issue_free = issue_free
 
+        first_producer = (
+            first_nonready.first_unfinished_producer()
+            if first_nonready is not None
+            else None
+        )
+        oldest_vfp_producer = (
+            oldest_vfp_nonready.first_unfinished_producer()
+            if oldest_vfp_nonready is not None
+            else None
+        )
+        self._rs_dirty = False
+        self._rs_quiet = n_issue + n_issue_wrong == 0
+        self._has_correct_waiting = correct_waiting > 0
+        self._issue_obs_cache = (
+            first_producer,
+            structural,
+            vfp_in_rs,
+            oldest_vfp_producer,
+            vfp_structural,
+        )
+        if obs is not None:
+            obs.n_issue = n_issue
+            obs.n_issue_wrong = n_issue_wrong
+            obs.rs_empty = correct_waiting == 0
+            obs.structural_stall = structural
+            obs.first_nonready_producer = first_producer
+            obs.flops_issued = flops_issued
+            obs.n_vfp_issued = n_vfp
+            obs.non_fma_loss_lanes = non_fma_loss
+            obs.masked_lanes = masked
+            obs.vfp_in_rs = vfp_in_rs
+            obs.vu_used_by_non_vfp = vu_non_vfp
+            obs.vfp_structural = vfp_structural
+            obs.oldest_vfp_producer = oldest_vfp_producer
+
+    def _resolve_issue_obs(self) -> tuple:
+        """Resolve deferred producer fields in ``_issue_obs_cache``.
+
+        Between the select that deferred them and this call, no event
+        that could change the answer has occurred (any such event sets
+        ``_rs_dirty`` and forces a fresh select), so the resolution is
+        identical to eager computation at select time.
+        """
+        cache = self._issue_obs_cache
+        if cache[0] is _PENDING:
+            # _oldest_live inlined for both queues (two calls per
+            # resolution showed in stall-heavy profiles).
+            first_producer = None
+            entries = self._nonready
+            while entries:
+                seq, uop = entries[0]
+                if uop.seq == seq and not uop.squashed and uop.deps_left > 0:
+                    first_producer = uop.first_unfinished_producer()
+                    break
+                entries.popleft()
+            vfp_producer = None
+            entries = self._nonready_vfp
+            while entries:
+                seq, uop = entries[0]
+                if uop.seq == seq and not uop.squashed and uop.deps_left > 0:
+                    vfp_producer = uop.first_unfinished_producer()
+                    break
+                entries.popleft()
+            cache = (
+                first_producer,
+                cache[1],
+                cache[2],
+                vfp_producer,
+                cache[4],
+            )
+            self._issue_obs_cache = cache
+        return cache
+
+    @staticmethod
+    def _oldest_live(
+        entries: deque[tuple[int, InflightUop]]
+    ) -> InflightUop | None:
+        """Front of a seq-ordered queue, pruning permanently-dead entries.
+
+        An entry is dead once its record was recycled (snapshotted seq no
+        longer matches), its micro-op was squashed, or it became ready
+        (``deps_left`` never increases) — all irreversible for that
+        dynamic instance, so popped fronts never need to come back.
+        """
+        while entries:
+            seq, uop = entries[0]
+            if uop.seq == seq and not uop.squashed and uop.deps_left > 0:
+                return uop
+            entries.popleft()
+        return None
+
+    def _issue_select(
+        self, cycle: int, obs: CycleObservation | None
+    ) -> None:
+        """Event-driven issue stage: walk only ready entries.
+
+        Wakeups (writeback, store-conflict resolution) and dispatch push
+        candidates into ``_ready``; select sorts it by seq (cheap — the
+        list is nearly sorted) and walks it greedily, which reproduces the
+        legacy scan's issue decisions and, crucially, its floating-point
+        accumulation order: the issued micro-ops form the same
+        seq-ordered sequence the full scan issued.  Observation fields
+        for non-ready work come from :meth:`_oldest_live` over the
+        incrementally-maintained ``_nonready`` queues instead of a scan.
+        """
+        if self._rs_quiet and not self._rs_dirty:
+            # Nothing changed since a select that issued nothing: the
+            # result is identical.  Fill the observation from the cache.
+            if obs is not None:
+                (
+                    obs.first_nonready_producer,
+                    obs.structural_stall,
+                    obs.vfp_in_rs,
+                    obs.oldest_vfp_producer,
+                    obs.vfp_structural,
+                ) = self._resolve_issue_obs()
+                obs.rs_empty = not self._has_correct_waiting
+            return
+        fu = self.fu
+        machine_lanes = self.config.vector_lanes
+        pending_stores = self.pending_stores
+        free, issue_free, unpipelined = fu.begin_issue(cycle)
+
+        n_issue = 0
+        n_issue_wrong = 0
+        structural = False
+        vfp_structural = False
+        vu_non_vfp = False
+        flops_issued = 0.0
+        n_vfp = 0
+        non_fma_loss = 0.0
+        masked = 0.0
+
+        ready = self._ready
+        if ready:
+            ready.sort()
+            keep: list[tuple[int, InflightUop]] = []
+            keep_append = keep.append
+            parked = self._parked
+            rs_count = self._rs_count
+            rs_correct = self._rs_correct
+            rs_vfp = self._rs_vfp
+            execute = self._execute
+            reserve_mul = fu._reserve_mul
+            for entry in ready:
+                seq, uop = entry
+                if uop.seq != seq or uop.squashed:
+                    continue  # stale: issued+recycled, or squashed
+                static = uop.uop
+                forward_store: InflightUop | None = None
+                if uop.is_load and not uop.wrong_path:
+                    store = pending_stores.get(static.addr)
+                    if (
+                        store is not None
+                        and store.seq < seq
+                        and not store.squashed
+                    ):
+                        if store.done:
+                            forward_store = store
+                        else:
+                            # Address conflict: park on the older store
+                            # (structural 'Other' stall).  The store's
+                            # writeback — or a younger store taking over
+                            # the forwarding slot — re-queues the load.
+                            structural = True
+                            uop.parked = True
+                            parked += 1
+                            if store.waiters is None:
+                                store.waiters = [entry]
+                            else:
+                                store.waiters.append(entry)
+                            continue
+                pool = uop.pool
+                if issue_free > 0 and free[pool] > 0:
+                    latency = execute(uop, cycle, forward_store)
+                    issue_free -= 1
+                    free[pool] -= 1
+                    if pool == POOL_MUL and unpipelined[static.uclass]:
+                        reserve_mul(cycle, latency)
+                    rs_count -= 1
+                    if uop.wrong_path:
+                        n_issue_wrong += 1
+                    else:
+                        n_issue += 1
+                        rs_correct -= 1
+                        ops = uop.ops
+                        if ops:
+                            rs_vfp -= 1
+                            lanes = static.lanes
+                            if lanes > machine_lanes:
+                                lanes = machine_lanes
+                            flops_issued += ops * lanes
+                            n_vfp += 1
+                            non_fma_loss += (2 - ops) * lanes
+                            masked += machine_lanes - lanes
+                        elif uop.is_vu_nonvfp:
+                            vu_non_vfp = True
+                    continue  # issued: leaves the reservation stations
+                structural = True
+                if not uop.wrong_path and uop.ops:
+                    vfp_structural = True
+                keep_append(entry)
+            self._ready = keep
+            self._parked = parked
+            self._rs_count = rs_count
+            self._rs_correct = rs_correct
+            self._rs_vfp = rs_vfp
+        if self._parked:
+            # Parked loads are ready-but-blocked entries the legacy scan
+            # saw as a persistent conflict: structural every cycle.
+            structural = True
+        fu._issue_free = issue_free
+
+        correct_waiting = self._rs_correct
+        vfp_in_rs = self._rs_vfp > 0
+        first_nonready = self._oldest_live(self._nonready)
+        oldest_vfp_nonready = self._oldest_live(self._nonready_vfp)
         first_producer = (
             first_nonready.first_unfinished_producer()
             if first_nonready is not None
@@ -550,7 +1704,6 @@ class CoreSimulator:
         static = uop.uop
         uclass = static.uclass
         uop.issued = True
-        uop.issue_cycle = cycle
         if uclass is UopClass.LOAD:
             if uop.wrong_path:
                 complete = int(
@@ -576,7 +1729,6 @@ class CoreSimulator:
             complete = cycle + latency
         if complete <= cycle:
             complete = cycle + 1
-        uop.complete_cycle = complete
         bucket = self.completions.get(complete)
         if bucket is None:
             self.completions[complete] = [uop]
@@ -588,11 +1740,16 @@ class CoreSimulator:
         config = self.config
         queue = self.uop_queue
         rob = self.rob
-        rs = self.rs
         width = config.dispatch_width
         rob_size = config.rob_size
         rs_size = config.rs_size
         sq_size = config.store_queue_size
+        event = self._event
+        rs_append = self.rs.append
+        ready_append = self._ready.append
+        nonready_append = self._nonready.append
+        nonready_vfp_append = self._nonready_vfp.append
+        pending_stores = self.pending_stores
         n = 0
         n_wrong = 0
         queue_empty = False
@@ -600,7 +1757,6 @@ class CoreSimulator:
         last_block_id = -1
         rename = self._rename
         rob_append = rob.append
-        rs_append = rs.append
         while n + n_wrong < width:
             if not queue:
                 queue_empty = True
@@ -608,7 +1764,7 @@ class CoreSimulator:
             uop = queue[0]
             if (
                 len(rob) >= rob_size
-                or len(rs) >= rs_size
+                or self._rs_count >= rs_size
                 or (uop.is_store and self.sq_count >= sq_size)
             ):
                 window_full = True
@@ -616,11 +1772,42 @@ class CoreSimulator:
             queue.popleft()
             rename(uop)
             rob_append(uop)
-            rs_append(uop)
+            self._rs_count += 1
+            if event:
+                entry = (uop.seq, uop)
+                if uop.deps_left == 0:
+                    ready_append(entry)
+                if not uop.wrong_path:
+                    self._rs_correct += 1
+                    ops = uop.ops
+                    if ops:
+                        self._rs_vfp += 1
+                    if uop.deps_left:
+                        nonready_append(entry)
+                        if ops:
+                            nonready_vfp_append(entry)
+            else:
+                rs_append(uop)
             if uop.is_store:
                 self.sq_count += 1
                 if not uop.wrong_path and uop.uop.addr >= 0:
-                    self.pending_stores[uop.uop.addr] = uop
+                    addr = uop.uop.addr
+                    prev = pending_stores.get(addr)
+                    if prev is not None and prev.waiters is not None:
+                        # A younger store takes over the forwarding slot:
+                        # loads parked on the old store no longer conflict
+                        # under the scheduler's older-store test (the new
+                        # store is younger than they are) — wake them so
+                        # they re-check at select, exactly when the legacy
+                        # scan's per-cycle conflict test would evaporate.
+                        waiters = prev.waiters
+                        prev.waiters = None
+                        for wseq, load in waiters:
+                            if load.seq == wseq and load.parked:
+                                load.parked = False
+                                self._parked -= 1
+                                ready_append((wseq, load))
+                    pending_stores[addr] = uop
             if uop.wrong_path:
                 n_wrong += 1
             else:
@@ -646,6 +1833,7 @@ class CoreSimulator:
 
     def _rename(self, uop: InflightUop) -> None:
         last_writer = self.last_writer
+        deps = 0
         for src in uop.uop.srcs:
             producer = last_writer[src]
             if (
@@ -655,7 +1843,10 @@ class CoreSimulator:
             ):
                 uop.producers.append(producer)
                 producer.consumers.append(uop)
-                uop.deps_left += 1
+                deps += 1
+        # Assigned, not accumulated: pool-recycled records skip the
+        # deps_left reset on acquire.
+        uop.deps_left = deps
         dst = uop.uop.dst
         if dst >= 0:
             last_writer[dst] = uop
@@ -664,26 +1855,71 @@ class CoreSimulator:
         room = self.config.uop_queue_size - len(self.uop_queue)
         if room <= 0:
             return
-        for uop in self.frontend.deliver(cycle, room):
-            self.uop_queue.append(uop)
+        self.frontend.deliver(cycle, room, self.uop_queue)
 
     def _squash(self, branch: InflightUop) -> None:
-        """Flush everything younger than the mispredicted ``branch``."""
+        """Flush everything younger than the mispredicted ``branch``.
+
+        Squashed records are recycled immediately except issued-but-
+        incomplete ones, which a completions bucket still references;
+        those are released when their writeback cycle drains the bucket.
+        Records still waiting in the reservation stations get their
+        dependence edges severed first so a live producer never keeps a
+        reference to a recycled consumer.
+        """
         boundary = branch.seq
         rob = self.rob
         pending_stores = self.pending_stores
+        event = self._event
+        releasable: list[InflightUop] = []
+        rob_pop = rob.pop
+        releasable_append = releasable.append
+        rs_count = self._rs_count
+        parked = self._parked
+        rs_correct = self._rs_correct
+        rs_vfp = self._rs_vfp
         while rob and rob[-1].seq > boundary:
-            uop = rob.pop()
+            uop = rob_pop()
             uop.squashed = True
             if uop.is_store:
                 self.sq_count -= 1
                 addr = uop.uop.addr
                 if pending_stores.get(addr) is uop:
                     del pending_stores[addr]
+            if uop.issued:
+                if uop.done:
+                    releasable_append(uop)
+                # else: a completions bucket still holds it; the skip
+                # branch in _writeback releases it.
+            else:
+                # Still in the reservation stations.
+                rs_count -= 1
+                if uop.parked:
+                    uop.parked = False
+                    parked -= 1
+                if event and not uop.wrong_path:
+                    rs_correct -= 1
+                    if uop.ops:
+                        rs_vfp -= 1
+                for producer in uop.producers:
+                    if not producer.done:
+                        try:
+                            producer.consumers.remove(uop)
+                        except ValueError:  # pragma: no cover - defensive
+                            pass
+                releasable_append(uop)
+        self._rs_count = rs_count
+        self._parked = parked
+        self._rs_correct = rs_correct
+        self._rs_vfp = rs_vfp
         for uop in self.uop_queue:
+            # Never renamed: no edges to sever.
             uop.squashed = True
+            releasable.append(uop)
         self.uop_queue.clear()
-        self.rs = [u for u in self.rs if not u.squashed]
+        if not event:
+            self.rs = [u for u in self.rs if not u.squashed]
+            self._rs_count = len(self.rs)
         self._rs_dirty = True
         last_writer: list[InflightUop | None] = [None] * TOTAL_REGS
         for uop in rob:
@@ -691,6 +1927,16 @@ class CoreSimulator:
             if dst >= 0:
                 last_writer[dst] = uop
         self.last_writer = last_writer
+        # Recycle after every structure above has been rebuilt: the legacy
+        # RS filter and the rename-table rebuild must still see the
+        # squashed flags/records in place.  (UopPool.release inlined:
+        # mispredict-heavy runs recycle most records through here.)
+        free_append = self._pool._free.append
+        for uop in releasable:
+            uop.producers.clear()
+            uop.consumers.clear()
+            uop.waiters = None
+            free_append(uop)
 
 
 def simulate(

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 
 from repro.config.cores import CoreConfig
 from repro.core.components import Component
@@ -22,11 +23,25 @@ from repro.isa.instructions import Instruction, Program
 from repro.isa.registers import NUM_INT_REGS
 from repro.isa.uops import MicroOp, UopClass
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.pipeline.inflight import InflightUop
+from repro.pipeline.inflight import (
+    _IS_VU_NONVFP,
+    _OPS_OF,
+    _POOL_OF,
+    InflightUop,
+    UopPool,
+)
 
 #: Integer registers the wrong-path synthesizer rotates through.
 _WP_REG_BASE = NUM_INT_REGS - 8
 _WP_REG_COUNT = 8
+#: Destination registers / singleton source tuples by rotation offset
+#: (one tuple allocation per synthesized micro-op showed in profiles).
+_WP_DSTS = tuple(_WP_REG_BASE + i for i in range(_WP_REG_COUNT))
+_WP_SRC1 = tuple((r,) for r in _WP_DSTS)
+# The synthesizer's uop cache packs (uclass, dst offset, src offset) into
+# one int key: 4 bits each for the offsets requires the rotation window
+# to stay within 15 registers.
+assert _WP_REG_COUNT <= 15
 
 
 class Frontend:
@@ -40,6 +55,7 @@ class Frontend:
         predictor: BranchPredictor,
         *,
         seed: int = 12345,
+        pool: UopPool | None = None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
@@ -47,8 +63,18 @@ class Frontend:
         self._instructions = program.instructions
         self._count = len(self._instructions)
         self._idx = 0
-        # Current macro-op expansion state.
-        self._pending: list[MicroOp] = []
+        #: Dynamic micro-op records come from the core's shared free-list
+        #: pool (a private one when constructed standalone in tests).
+        self._pool = UopPool() if pool is None else pool
+        # Current macro-op expansion state: an index cursor over the
+        # memoized decode of the current instruction (see _start_instr).
+        # Each row carries the micro-op plus every static classification
+        # the delivery loop would otherwise recompute per dynamic
+        # instance: (uop, is_load, is_store, is_branch, multi_cycle,
+        # fu_pool, flops_per_lane, is_vu_nonvfp, wp_addr).
+        self._decoded: tuple[tuple, ...] = ()
+        self._decoded_idx = 0
+        self._decoded_len = 0
         self._pending_instr: Instruction | None = None
         # Monotonic micro-op sequence and basic-block counters.
         self.seq = 0
@@ -76,16 +102,38 @@ class Frontend:
         self._multi_cycle = tuple(
             config.latency_of(uclass) > 1 for uclass in UopClass
         )
+        # Per-uop hot-path constants hoisted out of the delivery loop.
+        self._decode_width = config.decode_width
+        self._micro_rate = config.microcode_uops_per_cycle
+        self._line_bits = hierarchy.l1i.line_bits
+        self._l1i_latency = hierarchy.l1i.latency
         #: Synthesized non-load wrong-path micro-ops recur from a small
         #: set of (class, srcs, dst) combinations; MicroOp is immutable
         #: and built for sharing, so cache instead of reconstructing.
-        self._wp_uop_cache: dict[tuple, MicroOp] = {}
+        #: Keyed by ``(uclass << 8) | (dst_off << 4) | src_off`` — the
+        #: three coordinates packed into one int (tuple keys showed in
+        #: mispredict-heavy profiles).
+        self._wp_uop_cache: dict[int, MicroOp] = {}
+        #: pc -> (instruction, decoded rows): loop bodies re-decode the
+        #: same static instructions every iteration, so the expansion
+        #: (including the full per-uop static classification — see the
+        #: ``_decoded`` row layout above) is memoized per pc.  Entries
+        #: are validated by instruction identity, so a different
+        #: Instruction object at the same pc (self-modifying traces,
+        #: hand-built programs) replaces the stale expansion instead of
+        #: reusing it.
+        self._decode_cache: dict[
+            int, tuple[Instruction, tuple[tuple, ...]]
+        ] = {}
 
     # -- status ------------------------------------------------------------------
 
     @property
     def trace_exhausted(self) -> bool:
-        return self._idx >= self._count and not self._pending
+        return (
+            self._idx >= self._count
+            and self._decoded_idx >= self._decoded_len
+        )
 
     @property
     def idle(self) -> bool:
@@ -97,7 +145,12 @@ class Frontend:
         )
 
     def reason(self, cycle: int) -> Component | None:
-        """Why the frontend is not (fully) delivering this cycle."""
+        """Why the frontend is not (fully) delivering this cycle.
+
+        The fused event step (``CoreSimulator._step_event``) inlines this
+        logic on its per-cycle sampling path; keep the branch order here
+        and there in sync.
+        """
         if self.waiting_sync is not None:
             return Component.UNSCHED
         if cycle < self._stall_until:
@@ -155,7 +208,9 @@ class Frontend:
         """Mispredicted branch resolved: flush and refetch correct path."""
         self.wrong_path = False
         self.resolving_branch = None
-        self._pending.clear()
+        self._decoded = ()
+        self._decoded_idx = 0
+        self._decoded_len = 0
         self._pending_instr = None
         self._stall(cycle + self.config.redirect_penalty, Component.BPRED)
         self._last_line = -1
@@ -173,43 +228,200 @@ class Frontend:
 
     # -- delivery ----------------------------------------------------------------
 
-    def deliver(self, cycle: int, room: int) -> list[InflightUop]:
-        """Produce up to decode-width micro-ops for the dispatch queue."""
-        out: list[InflightUop] = []
+    def deliver(self, cycle: int, room: int, out=None):
+        """Produce up to decode-width micro-ops for the dispatch queue.
+
+        Appends into ``out`` when given (the core passes its uop queue
+        directly, avoiding a per-cycle list) and always returns it.
+        """
+        if out is None:
+            out = []
         if room <= 0 or self.waiting_sync is not None:
             return out
         if cycle < self._stall_until:
             if self._stall_reason is Component.ICACHE:
                 self.icache_stall_cycles += 1
             return out
-        budget = min(self.config.decode_width, room)
+        width = self._decode_width
+        budget = room if room < width else width
         if self.wrong_path:
             self._deliver_wrong_path(budget, out)
             return out
-        micro_budget = self.config.microcode_uops_per_cycle
+        micro_budget = self._micro_rate
         delivered_any = False
+        # Pool acquire and the non-branch _finish_instr fast path are
+        # inlined: both ran once per delivered micro-op / instruction,
+        # and the decode rows carry every static classification so the
+        # record is filled with plain slot stores.
+        seq = self.seq
+        block = self.block
+        n_delivered = 0
+        free = self._pool._free
+        free_pop = free.pop
+        out_append = out.append
         while budget > 0:
-            if self._pending:
-                instr = self._pending_instr
-                assert instr is not None
-                if instr.microcoded:
-                    if micro_budget <= 0:
-                        self._last_reason = Component.MICROCODE
-                        break
-                    micro_budget -= 1
-                uop = self._pending.pop(0)
-                last = not self._pending
-                inflight = self._wrap(uop, instr, last)
-                out.append(inflight)
-                delivered_any = True
-                budget -= 1
-                if last and not self._finish_instr(instr, inflight, cycle):
+            instr = self._pending_instr
+            if instr is not None:
+                # Drain the current expansion through a local cursor: the
+                # per-row attribute churn on self showed in profiles.
+                decoded = self._decoded
+                dlen = self._decoded_len
+                idx = self._decoded_idx
+                microcoded = instr.microcoded
+                halt = False
+                while idx < dlen and budget > 0:
+                    if microcoded:
+                        if micro_budget <= 0:
+                            self._last_reason = Component.MICROCODE
+                            halt = True
+                            break
+                        micro_budget -= 1
+                    (
+                        uop, is_load, is_store, is_branch, multi_cycle,
+                        pool_idx, ops, is_vu_nonvfp, wp_addr,
+                    ) = decoded[idx]
+                    idx += 1
+                    last = idx == dlen
+                    if free:
+                        # Recycled records arrive with empty edge lists
+                        # and parked/waiters cleared (UopPool.release
+                        # invariant); deps_left is assigned at rename.
+                        inflight = free_pop()
+                        inflight.uop = uop
+                        inflight.instr = instr
+                        inflight.seq = seq
+                        inflight.block_id = block
+                        inflight.wrong_path = False
+                        inflight.last_of_instr = last
+                        inflight.issued = False
+                        inflight.done = False
+                        inflight.squashed = False
+                        inflight.is_load = is_load
+                        inflight.is_store = is_store
+                        inflight.is_branch = is_branch
+                        inflight.multi_cycle = multi_cycle
+                        inflight.dcache_miss = False
+                        inflight.mispredicted = False
+                        inflight.parked = False
+                        inflight.pool = pool_idx
+                        inflight.ops = ops
+                        inflight.is_vu_nonvfp = is_vu_nonvfp
+                    else:
+                        inflight = InflightUop(
+                            uop, instr, seq, block,
+                            last_of_instr=last,
+                            multi_cycle=multi_cycle,
+                        )
+                    seq += 1
+                    n_delivered += 1
+                    if wp_addr >= 0:
+                        self._wp_data_addr = wp_addr
+                    out_append(inflight)
+                    delivered_any = True
+                    budget -= 1
+                    if last:
+                        self._pending_instr = None
+                        if instr.yield_cycles > 0 or instr.is_branch:
+                            self.seq = seq
+                            if not self._finish_instr(
+                                instr, inflight, cycle
+                            ):
+                                halt = True
+                            else:
+                                block = self.block
+                        break  # expansion done; advance to the next instr
+                self._decoded_idx = idx
+                if halt:
                     break
+                if idx >= dlen and self._pending_instr is instr:
+                    # Degenerate empty expansion: retire it so the outer
+                    # loop can advance instead of spinning.
+                    self._pending_instr = None
                 continue
-            if self._idx >= self._count:
+            i = self._idx
+            if i >= self._count:
                 break
+            # _start_instr's fast path inlined: same I-cache line as the
+            # previous fetch, decode memo hit, not microcoded.  When the
+            # whole expansion also fits this cycle's remaining budget —
+            # the common case for 1-3 uop instructions under a 4-wide
+            # decoder — the rows are minted right here, bypassing the
+            # ``_decoded`` cursor state entirely.
+            instr = self._instructions[i]
+            pc = instr.pc
+            if (pc >> self._line_bits) == self._last_line:
+                cached = self._decode_cache.get(pc)
+                if (
+                    cached is not None
+                    and cached[0] is instr
+                    and not instr.microcoded
+                ):
+                    self._idx = i + 1
+                    decoded = cached[1]
+                    dlen = len(decoded)
+                    if dlen > budget:
+                        self._decoded = decoded
+                        self._decoded_idx = 0
+                        self._decoded_len = dlen
+                        self._pending_instr = instr
+                        continue
+                    budget -= dlen
+                    n_delivered += dlen
+                    rows_left = dlen
+                    inflight = None
+                    for row in decoded:
+                        (
+                            uop, is_load, is_store, is_branch,
+                            multi_cycle, pool_idx, ops, is_vu_nonvfp,
+                            wp_addr,
+                        ) = row
+                        rows_left -= 1
+                        if free:
+                            # Same mint as the drain loop above.
+                            inflight = free_pop()
+                            inflight.uop = uop
+                            inflight.instr = instr
+                            inflight.seq = seq
+                            inflight.block_id = block
+                            inflight.wrong_path = False
+                            inflight.last_of_instr = rows_left == 0
+                            inflight.issued = False
+                            inflight.done = False
+                            inflight.squashed = False
+                            inflight.is_load = is_load
+                            inflight.is_store = is_store
+                            inflight.is_branch = is_branch
+                            inflight.multi_cycle = multi_cycle
+                            inflight.dcache_miss = False
+                            inflight.mispredicted = False
+                            inflight.parked = False
+                            inflight.pool = pool_idx
+                            inflight.ops = ops
+                            inflight.is_vu_nonvfp = is_vu_nonvfp
+                        else:
+                            inflight = InflightUop(
+                                uop, instr, seq, block,
+                                last_of_instr=rows_left == 0,
+                                multi_cycle=multi_cycle,
+                            )
+                        seq += 1
+                        if wp_addr >= 0:
+                            self._wp_data_addr = wp_addr
+                        out_append(inflight)
+                    if dlen:
+                        delivered_any = True
+                        if instr.yield_cycles > 0 or instr.is_branch:
+                            self.seq = seq
+                            if not self._finish_instr(
+                                instr, inflight, cycle
+                            ):
+                                break
+                            block = self.block
+                    continue
             if not self._start_instr(cycle):
                 break
+        self.seq = seq
+        self.delivered += n_delivered
         # A successful delivery ends the previous stall's tail: later empty
         # queues are throughput effects, not that stall's aftermath.
         if (
@@ -223,15 +435,23 @@ class Frontend:
     def _start_instr(self, cycle: int) -> bool:
         """Fetch the next macro-op; False if fetch stalled."""
         instr = self._instructions[self._idx]
-        line = instr.pc >> self.hierarchy.l1i.line_bits
+        line = instr.pc >> self._line_bits
         if line != self._last_line:
             result = self.hierarchy.ifetch(instr.pc, cycle)
             self._last_line = line
-            if result.complete > cycle + self.hierarchy.l1i.latency:
+            if result.complete > cycle + self._l1i_latency:
                 self._stall(result.complete, Component.ICACHE)
                 return False
         self._idx += 1
-        self._pending = list(instr.uops)
+        cached = self._decode_cache.get(instr.pc)
+        if cached is not None and cached[0] is instr:
+            decoded = cached[1]
+        else:
+            decoded = self._decode(instr)
+            self._decode_cache[instr.pc] = (instr, decoded)
+        self._decoded = decoded
+        self._decoded_idx = 0
+        self._decoded_len = len(decoded)
         self._pending_instr = instr
         if instr.microcoded and instr.decode_cycles > len(instr.uops):
             # Sequencer setup cycles beyond the per-uop emission rate.
@@ -240,22 +460,34 @@ class Frontend:
             return False
         return True
 
-    def _wrap(
-        self, uop: MicroOp, instr: Instruction, last: bool
-    ) -> InflightUop:
-        inflight = InflightUop(
-            uop,
-            instr,
-            self.seq,
-            self.block,
-            last_of_instr=last,
-            multi_cycle=self._multi_cycle[uop.uclass],
-        )
-        self.seq += 1
-        self.delivered += 1
-        if uop.uclass is UopClass.LOAD and uop.addr >= 0:
-            self._wp_data_addr = uop.addr
-        return inflight
+    def _decode(self, instr: Instruction) -> tuple[tuple, ...]:
+        """Expand a macro-op into fully classified micro-op rows.
+
+        Every static property the delivery loop needs to mint an
+        :class:`InflightUop` is computed once here and memoized with the
+        expansion; ``wp_addr`` is the data address a load publishes to
+        the wrong-path synthesizer (-1 when not applicable).
+        """
+        multi_cycle = self._multi_cycle
+        load_class = UopClass.LOAD
+        store_class = UopClass.STORE
+        branch_class = UopClass.BRANCH
+        rows = []
+        for uop in instr.uops:
+            uclass = uop.uclass
+            is_load = uclass is load_class
+            rows.append((
+                uop,
+                is_load,
+                uclass is store_class,
+                uclass is branch_class,
+                multi_cycle[uclass] or is_load,
+                _POOL_OF[uclass],
+                _OPS_OF[uclass],
+                _IS_VU_NONVFP[uclass],
+                uop.addr if is_load and uop.addr >= 0 else -1,
+            ))
+        return tuple(rows)
 
     def _finish_instr(
         self, instr: Instruction, last_uop: InflightUop, cycle: int
@@ -293,46 +525,84 @@ class Frontend:
         rng = self._rng
         rng_random = rng.random
         rng_randrange = rng.randrange
-        pick_class = template.pick_class
+        # pick_class inlined (one call per synthesized micro-op): same
+        # bisect over the cumulative thresholds, same final clamp.
+        cum = template._cum
+        classes = template._classes
+        last_class = len(classes) - 1
         load_probe_prob = template.load_probe_prob
         multi_cycle = self._multi_cycle
         load_class = UopClass.LOAD
+        alu_class = UopClass.ALU
+        store_class = UopClass.STORE
+        branch_class = UopClass.BRANCH
         wp_cache = self._wp_uop_cache
+        wp_cache_get = wp_cache.get
+        free = self._pool._free
+        free_pop = free.pop
         block = self.block
         seq = self.seq
         wp_counter = self._wp_counter
         wp_prev_dst = self._wp_prev_dst
         out_append = out.append
         for _ in range(budget):
-            uclass = pick_class(rng_random())
+            index = bisect_right(cum, rng_random())
+            uclass = classes[last_class if index > last_class else index]
             if uclass is load_class and rng_random() >= load_probe_prob:
-                uclass = UopClass.ALU
-            dst = _WP_REG_BASE + wp_counter % _WP_REG_COUNT
+                uclass = alu_class
+            dst_off = wp_counter % _WP_REG_COUNT
+            dst = _WP_DSTS[dst_off]
             wp_counter += 1
-            srcs: tuple[int, ...] = ()
             if wp_prev_dst >= 0 and rng_random() < 0.4:
-                srcs = (wp_prev_dst,)
-            if uclass is load_class:
+                src_off = wp_prev_dst - _WP_REG_BASE + 1
+                srcs: tuple[int, ...] = _WP_SRC1[src_off - 1]
+            else:
+                src_off = 0
+                srcs = ()
+            is_load = uclass is load_class
+            if is_load:
                 addr = max(
                     0,
                     self._wp_data_addr + rng_randrange(-8192, 8192),
                 )
                 uop = MicroOp(uclass, srcs=srcs, dst=dst, addr=addr, size=8)
             else:
-                key = (uclass, srcs, dst)
-                uop = wp_cache.get(key)
+                key = (uclass << 8) | (dst_off << 4) | src_off
+                uop = wp_cache_get(key)
                 if uop is None:
                     uop = MicroOp(uclass, srcs=srcs, dst=dst, addr=-1, size=8)
                     wp_cache[key] = uop
-            inflight = InflightUop(
-                uop,
-                None,
-                seq,
-                block,
-                wrong_path=True,
-                last_of_instr=True,
-                multi_cycle=multi_cycle[uclass],
-            )
+            # Pool acquire inlined (one call per synthesized micro-op
+            # showed in mispredict-heavy profiles); same invariants as
+            # the correct-path mint in deliver().
+            if free:
+                inflight = free_pop()
+                inflight.uop = uop
+                inflight.instr = None
+                inflight.seq = seq
+                inflight.block_id = block
+                inflight.wrong_path = True
+                inflight.last_of_instr = True
+                inflight.issued = False
+                inflight.done = False
+                inflight.squashed = False
+                inflight.is_load = is_load
+                inflight.is_store = uclass is store_class
+                inflight.is_branch = uclass is branch_class
+                inflight.multi_cycle = multi_cycle[uclass] or is_load
+                inflight.dcache_miss = False
+                inflight.mispredicted = False
+                inflight.parked = False
+                inflight.pool = _POOL_OF[uclass]
+                inflight.ops = _OPS_OF[uclass]
+                inflight.is_vu_nonvfp = _IS_VU_NONVFP[uclass]
+            else:
+                inflight = InflightUop(
+                    uop, None, seq, block,
+                    wrong_path=True,
+                    last_of_instr=True,
+                    multi_cycle=multi_cycle[uclass],
+                )
             seq += 1
             wp_prev_dst = dst
             out_append(inflight)

@@ -60,6 +60,28 @@ class FunctionalUnitPool:
         free[1] = mul_free
         self._issue_free = self._issue_width
 
+    def begin_issue(
+        self, cycle: int
+    ) -> tuple[list[int], int, tuple[bool, ...]]:
+        """Per-cycle reset plus the raw views the scheduler inlines.
+
+        Returns ``(free_slots, issue_width, unpipelined_flags)``: the
+        select loop mutates ``free_slots`` in place, tracks the remaining
+        issue bandwidth itself, and writes it back into ``_issue_free``
+        when the walk ends.
+        """
+        # new_cycle's body, folded in: this runs once per active cycle
+        # and the extra call layer showed in profiles.
+        free = self._free
+        free[:] = self._free_template
+        mul_free = 0
+        for busy in self._mul_busy_until:
+            if busy <= cycle:
+                mul_free += 1
+        free[1] = mul_free
+        self._issue_free = self._issue_width
+        return free, self._issue_width, self._unpipelined_flags
+
     def can_issue(self, pool: int) -> bool:
         """True if a micro-op using ``pool`` can start this cycle."""
         return self._issue_free > 0 and self._free[pool] > 0

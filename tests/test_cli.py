@@ -17,6 +17,8 @@ def test_parser_subcommands():
         ["fig3", "--case", "fig3a"],
         ["fig5"],
         ["overhead"],
+        ["profile", "mcf"],
+        ["profile", "mcf", "--config", "knl"],
         ["failures", "list"],
         ["failures", "clear"],
     ):
@@ -78,6 +80,19 @@ def test_overhead_command(capsys):
                  "--instructions", "1500"])
     assert code == 0
     assert "overhead" in capsys.readouterr().out
+
+
+def test_profile_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["profile", "exchange2", "--core", "tiny",
+                 "--instructions", "1500", "--top", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out
+    report = tmp_path / "results" / "profile_exchange2.txt"
+    assert report.exists()
+    text = report.read_text()
+    assert "committed_uops" in text and "_step_event" in text
 
 
 def test_socket_command(capsys):

@@ -267,7 +267,7 @@ def test_frontend_next_event_states():
     fe.waiting_sync = None
     # Idle (trace exhausted): never delivers again.
     fe._idx = fe._count
-    fe._pending.clear()
+    fe._decoded_idx = fe._decoded_len
     assert fe.next_event(100) == math.inf
 
 
