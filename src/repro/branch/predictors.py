@@ -61,6 +61,14 @@ class BranchTargetBuffer:
     def update(self, pc: int, target: int) -> None:
         self._table[_pc_hash(pc) & self._mask] = (pc, target)
 
+    def fingerprint(self) -> tuple:
+        """Table snapshot for the replay engine's fixed-point check.
+
+        Sorted by index: dict insertion order carries no behaviour here
+        (lookups are keyed, never iterated).
+        """
+        return tuple(sorted(self._table.items()))
+
 
 class BranchPredictor:
     """Base class: direction predictor combined with a BTB."""
@@ -94,6 +102,12 @@ class BranchPredictor:
             return 0.0
         return self.mispredicts / self.lookups
 
+    def fingerprint(self) -> tuple:
+        """Predictive state (direction tables + BTB) for the replay
+        engine; the lookup/mispredict counters are delta-advanced and
+        therefore excluded."""
+        return (self._direction_fingerprint(), self.btb.fingerprint())
+
     # -- direction policy (overridden by subclasses) -------------------------
 
     def _predict_direction(self, pc: int) -> bool:
@@ -101,6 +115,10 @@ class BranchPredictor:
 
     def _update_direction(self, pc: int, taken: bool) -> None:
         raise NotImplementedError
+
+    def _direction_fingerprint(self) -> object:
+        """Direction-predictor state; stateless policies return None."""
+        return None
 
 
 class PerfectPredictor(BranchPredictor):
@@ -157,6 +175,9 @@ class BimodalPredictor(BranchPredictor):
         elif counter > 0:
             self._counters[idx] = counter - 1
 
+    def _direction_fingerprint(self) -> object:
+        return bytes(self._counters)
+
 
 class GsharePredictor(BranchPredictor):
     """Global-history predictor: pc XOR history indexes 2-bit counters."""
@@ -185,6 +206,9 @@ class GsharePredictor(BranchPredictor):
         elif counter > 0:
             self._counters[idx] = counter - 1
         self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    def _direction_fingerprint(self) -> object:
+        return (bytes(self._counters), self._history)
 
 
 class TournamentPredictor(BranchPredictor):
@@ -215,6 +239,13 @@ class TournamentPredictor(BranchPredictor):
             self._chooser[idx] = chooser - 1
         self._bimodal._update_direction(pc, taken)
         self._gshare._update_direction(pc, taken)
+
+    def _direction_fingerprint(self) -> object:
+        return (
+            self._bimodal._direction_fingerprint(),
+            self._gshare._direction_fingerprint(),
+            bytes(self._chooser),
+        )
 
 
 _PREDICTORS = {

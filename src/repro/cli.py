@@ -72,6 +72,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"CPI={result.cpi:.3f} IPC={result.ipc:.3f} "
         f"mispredict={result.mispredict_rate:.3f}"
     )
+    if result.ff_cycles_skipped or result.replay_cycles_skipped:
+        print(
+            f"skipped: fast-forward {result.ff_cycles_skipped} cycles "
+            f"in {result.ff_windows} windows, replay "
+            f"{result.replay_cycles_skipped} cycles in "
+            f"{result.replay_windows} windows"
+        )
     report = result.report
     assert report is not None
     for stack in (report.dispatch, report.issue, report.commit):
@@ -323,6 +330,12 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
              "identical either way; useful for timing comparisons and "
              "as a bisection escape hatch)",
     )
+    parser.add_argument(
+        "--no-replay", action="store_true", dest="no_replay",
+        help="disable the periodic steady-state replay engine (results "
+             "are bitwise identical either way; same contract as "
+             "--no-fast-forward)",
+    )
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
@@ -354,7 +367,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     trace = make_trace(args.workload, instructions, args.seed)
     config = get_preset(args.core)
     fast_forward = not args.no_fast_forward
-    sim = CoreSimulator(trace, config, fast_forward=fast_forward)
+    replay = not args.no_replay
+    sim = CoreSimulator(trace, config, fast_forward=fast_forward,
+                        replay=replay)
 
     profiler = cProfile.Profile()
     start = time.perf_counter()
@@ -365,21 +380,26 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     buf = io.StringIO()
     stats = pstats.Stats(profiler, stream=buf)
-    stats.sort_stats("cumulative").print_stats(args.top)
+    stats.sort_stats(args.sort).print_stats(args.top)
     header = (
         f"# repro profile {args.workload} --core {args.core} "
         f"--instructions {instructions}"
-        f"{' --no-fast-forward' if args.no_fast_forward else ''}\n"
+        f"{' --no-fast-forward' if args.no_fast_forward else ''}"
+        f"{' --no-replay' if args.no_replay else ''}\n"
         f"# cycles={result.cycles} committed_uops={result.committed_uops} "
         f"wall={wall:.3f}s "
         f"uops_per_second={result.committed_uops / wall:,.0f}\n"
-        f"# top {args.top} functions by cumulative time\n\n"
+        f"# top {args.top} functions by {args.sort} time\n\n"
     )
     report = header + buf.getvalue()
 
-    out_dir = Path("results")
-    out_dir.mkdir(exist_ok=True)
-    out_path = out_dir / f"profile_{args.workload}.txt"
+    if args.out is not None:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        out_dir = Path("results")
+        out_dir.mkdir(exist_ok=True)
+        out_path = out_dir / f"profile_{args.workload}.txt"
     out_path.write_text(report)
 
     print(report, end="")
@@ -411,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fast-forward", action="store_true", dest="no_fast_forward",
         help="force the cycle-by-cycle simulation loop (results are "
              "bitwise identical either way)",
+    )
+    run.add_argument(
+        "--no-replay", action="store_true", dest="no_replay",
+        help="disable the periodic steady-state replay engine (results "
+             "are bitwise identical either way)",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -484,11 +509,23 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--seed", type=int, default=1)
     prof.add_argument(
         "--top", type=int, default=30,
-        help="number of functions in the cumulative-time report",
+        help="number of functions in the report",
+    )
+    prof.add_argument(
+        "--sort", default="cumulative", choices=("cumulative", "tottime"),
+        help="pstats sort key for the report (default: cumulative)",
+    )
+    prof.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="report destination (default: results/profile_<workload>.txt)",
     )
     prof.add_argument(
         "--no-fast-forward", action="store_true", dest="no_fast_forward",
         help="profile the cycle-by-cycle loop (every cycle simulated)",
+    )
+    prof.add_argument(
+        "--no-replay", action="store_true", dest="no_replay",
+        help="profile without the periodic steady-state replay engine",
     )
     prof.set_defaults(func=_cmd_profile)
 
@@ -514,6 +551,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if getattr(args, "no_fast_forward", False):
         # Inherited by pool workers the same way as the strict flag.
         os.environ[pipeline_core.ENV_FAST_FORWARD] = "0"
+    if getattr(args, "no_replay", False):
+        os.environ[pipeline_core.ENV_REPLAY] = "0"
     # Experiment subcommands (the ones with --jobs) get a harness summary
     # line covering every batch the command scheduled.
     harnessed = hasattr(args, "jobs")

@@ -23,11 +23,14 @@ class CommitAccountant:
 
     stage = "commit"
 
-    __slots__ = ("stack", "norm")
+    __slots__ = ("stack", "norm", "_pow2")
 
     def __init__(self, width: int) -> None:
         self.stack = CpiStack(stage=self.stage)
         self.norm = WidthNormalizer(width)
+        #: See DispatchAccountant: power-of-two widths enable the exact
+        #: multiplied bulk paths in :meth:`observe_repeat`.
+        self._pow2 = width & (width - 1) == 0
 
     def _stall_target(self, obs: CycleObservation) -> Component:
         """Ground cause of a commit stall cycle."""
@@ -56,15 +59,26 @@ class CommitAccountant:
 
         Exactly equivalent to ``k`` calls of :meth:`observe`; see
         :meth:`repro.core.dispatch.DispatchAccountant.observe_repeat` for
-        the bit-exactness argument (whole 0.0/1.0 increments once the
-        normalizer carry is drained).
+        the bit-exactness argument (exact dyadic per-cycle increments for
+        the stall, full/over-width and partial-width steady states).
         """
-        if obs.n_commit == self.norm.width:
-            # Full-width cycles add a whole 1.0 of BASE each and leave the
-            # carry untouched; see DispatchAccountant.observe_repeat.
+        n = obs.n_commit
+        width = self.norm.width
+        if n >= width and (n == width or self._pow2):
+            # Full/over-width cycles add a whole 1.0 of BASE each; the
+            # over-wide carry growth is the same exact dyadic every cycle.
             self.stack.add(Component.BASE, float(k))
+            if n > width:
+                self.norm.carry += (n / width - 1.0) * float(k)
             return
-        if obs.n_commit:
+        if n:
+            if self._pow2 and self.norm.carry == 0.0:
+                # Partial-width steady state: f = n/W exactly, carry stays
+                # 0.0; see DispatchAccountant.observe_repeat.
+                f = n / width
+                self.stack.add(Component.BASE, f * float(k))
+                self.stack.add(self._stall_target(obs), (1.0 - f) * float(k))
+                return
             for _ in range(k):
                 self.observe(obs)
             return

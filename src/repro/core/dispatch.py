@@ -24,7 +24,7 @@ class DispatchAccountant:
 
     stage = "dispatch"
 
-    __slots__ = ("stack", "norm", "mode", "spec", "_block_id")
+    __slots__ = ("stack", "norm", "mode", "spec", "_block_id", "_pow2")
 
     def __init__(
         self,
@@ -33,6 +33,10 @@ class DispatchAccountant:
     ) -> None:
         self.stack = CpiStack(stage=self.stage)
         self.norm = WidthNormalizer(width)
+        #: Power-of-two widths make every per-cycle fraction an exact
+        #: dyadic rational, enabling the multiplied bulk paths in
+        #: :meth:`observe_repeat` (all shipped presets qualify).
+        self._pow2 = width & (width - 1) == 0
         self.mode = mode
         self.spec: SpeculativeCounterFile | None = (
             SpeculativeCounterFile()
@@ -111,29 +115,43 @@ class DispatchAccountant:
     def observe_repeat(self, obs: CycleObservation, k: int) -> None:
         """Account ``obs`` for ``k`` consecutive identical cycles.
 
-        Exactly equivalent to calling :meth:`observe` ``k`` times.  The
-        bulk fast path applies once each repeated cycle contributes a
-        whole stall cycle — nothing dispatched and no width-normalizer
-        carry left to drain — because the per-cycle increments are then
-        exactly 0.0 (base) and 1.0 (stall), which accumulate without
-        rounding, so one bulk add of ``float(k)`` reproduces the iterated
-        result bit for bit.
+        Exactly equivalent to calling :meth:`observe` ``k`` times.  Bulk
+        fast paths cover every steady state whose per-cycle increments
+        are exact dyadic rationals: whole stall cycles (increments 0.0
+        and 1.0), full- and over-width cycles, and — for power-of-two
+        widths with no pending carry — partial-width cycles, where the
+        per-cycle fractions are multiples of 2^-p and iterated adds equal
+        one multiply-add bit for bit.
         """
         if self.mode is WrongPathMode.EXACT:
             n = obs.n_dispatch
         else:
             n = obs.n_dispatch + obs.n_dispatch_wrong
-        if n == self.norm.width:
-            # Exactly full width every cycle: f is 1.0 regardless of any
-            # carry (which passes through unchanged), so each cycle adds a
-            # whole 1.0 of BASE and nothing else — one bulk add of
-            # ``float(k)`` is bit-identical to the iterated adds (all
-            # accounting quantities are multiples of 1/W, exact in binary
-            # floating point for the power-of-two stage widths).
+        width = self.norm.width
+        if n >= width and (n == width or self._pow2):
+            # Full (or over-full) width every cycle: f is 1.0 regardless
+            # of any carry, so each cycle adds a whole 1.0 of BASE and
+            # nothing else — one bulk add of ``float(k)`` is bit-identical
+            # to the iterated adds.  An over-wide cycle additionally grows
+            # the carry by the same exact dyadic n/W - 1 every cycle (all
+            # partial sums are multiples of 2^-p well below 2^53 units, so
+            # iterated adds and one multiply-add agree bit for bit).
             self._add(Component.BASE, float(k))
+            if n > width:
+                self.norm.carry += (n / width - 1.0) * float(k)
             return
         if n:
-            # Fractional base contribution every cycle: no exact bulk form.
+            if self._pow2 and self.norm.carry == 0.0:
+                # Partial-width steady state: with no carry to drain, f is
+                # the same exact dyadic n/W every cycle and the carry stays
+                # 0.0, so the k base and k stall contributions each reduce
+                # to one exact multiply-add.
+                f = n / width
+                self._add(Component.BASE, f * float(k))
+                component, block_id = self._stall_target(obs)
+                self._add(component, (1.0 - f) * float(k), block_id=block_id)
+                return
+            # Non-dyadic width or pending carry: no exact bulk form.
             for _ in range(k):
                 self.observe(obs)
             return

@@ -29,7 +29,7 @@ from repro.core.stack import FlopsStack
 class FlopsAccountant:
     """Per-cycle FLOPS accounting at the issue stage (Table III)."""
 
-    __slots__ = ("stack", "vector_units", "vector_lanes", "peak")
+    __slots__ = ("stack", "vector_units", "vector_lanes", "peak", "_dyadic")
 
     def __init__(self, vector_units: int, vector_lanes: int) -> None:
         if vector_units < 1 or vector_lanes < 1:
@@ -39,6 +39,14 @@ class FlopsAccountant:
         #: M = 2 * k * v: peak FLOPs per cycle.
         self.peak = 2 * vector_units * vector_lanes
         self.stack = FlopsStack(peak_per_cycle=float(self.peak))
+        #: Power-of-two peak and unit counts make every per-cycle fraction
+        #: an exact dyadic rational when the issued FLOP/lane counts are
+        #: integral, enabling the multiplied bulk path in
+        #: :meth:`observe_repeat` (all shipped presets qualify).
+        self._dyadic = (
+            self.peak & (self.peak - 1) == 0
+            and vector_units & (vector_units - 1) == 0
+        )
 
     def observe(self, obs: CycleObservation) -> None:
         """Run one cycle of the Table III algorithm."""
@@ -90,7 +98,12 @@ class FlopsAccountant:
         FLOPs and no VFP issue in the repeated cycle, each call adds
         exactly one whole empty-slot cycle to a single component (there is
         no width-normalizer carry in the FLOPS algorithm), so the bulk add
-        of ``float(k)`` is bit-identical to the iterated result.
+        of ``float(k)`` is bit-identical to the iterated result.  Active
+        cycles bulk-apply too when every per-cycle fraction is an exact
+        dyadic rational — power-of-two peak and unit counts with integral
+        FLOP/lane totals — because each of the (identical) per-cycle adds
+        is then a multiple of 2^-p and iterated adds equal one
+        multiply-add bit for bit.
         """
         if (
             obs.flops_issued
@@ -98,6 +111,41 @@ class FlopsAccountant:
             or obs.non_fma_loss_lanes
             or obs.masked_lanes
         ):
+            if (
+                self._dyadic
+                and float(obs.flops_issued).is_integer()
+                and float(obs.non_fma_loss_lanes).is_integer()
+                and float(obs.masked_lanes).is_integer()
+            ):
+                # Mirror observe()'s branch structure with every add
+                # multiplied by k; the guards and early returns depend
+                # only on the (constant) observation, so all k iterated
+                # cycles would take exactly these branches.
+                stack = self.stack
+                peak = self.peak
+                units = self.vector_units
+                fk = float(k)
+                f = obs.flops_issued / peak
+                stack.add(FlopsComponent.BASE, f * fk)
+                stack.flops += obs.flops_issued * fk
+                if f >= 1.0:
+                    return
+                if obs.non_fma_loss_lanes:
+                    stack.add(
+                        FlopsComponent.NON_FMA,
+                        (obs.non_fma_loss_lanes / peak) * fk,
+                    )
+                if obs.masked_lanes:
+                    stack.add(
+                        FlopsComponent.MASK,
+                        (2.0 * obs.masked_lanes / peak) * fk,
+                    )
+                n = min(obs.n_vfp_issued, units)
+                slots = (units - n) / units
+                if slots <= 0.0:
+                    return
+                stack.add(self._slot_loss_component(obs), slots * fk)
+                return
             for _ in range(k):
                 self.observe(obs)
             return

@@ -24,7 +24,7 @@ class IssueAccountant:
 
     stage = "issue"
 
-    __slots__ = ("stack", "norm", "mode", "spec", "_block_id")
+    __slots__ = ("stack", "norm", "mode", "spec", "_block_id", "_pow2")
 
     def __init__(
         self,
@@ -33,6 +33,9 @@ class IssueAccountant:
     ) -> None:
         self.stack = CpiStack(stage=self.stage)
         self.norm = WidthNormalizer(width)
+        #: See DispatchAccountant: power-of-two widths enable the exact
+        #: multiplied bulk paths in :meth:`observe_repeat`.
+        self._pow2 = width & (width - 1) == 0
         self.mode = mode
         self.spec: SpeculativeCounterFile | None = (
             SpeculativeCounterFile()
@@ -120,19 +123,30 @@ class IssueAccountant:
 
         Exactly equivalent to ``k`` calls of :meth:`observe`; see
         :meth:`repro.core.dispatch.DispatchAccountant.observe_repeat` for
-        the bit-exactness argument (whole 0.0/1.0 increments once the
-        normalizer carry is drained).
+        the bit-exactness argument (exact dyadic per-cycle increments for
+        the stall, full/over-width and partial-width steady states).
         """
         if self.mode is WrongPathMode.EXACT:
             n = obs.n_issue
         else:
             n = obs.n_issue + obs.n_issue_wrong
-        if n == self.norm.width:
-            # Full-width cycles add a whole 1.0 of BASE each and leave the
-            # carry untouched; see DispatchAccountant.observe_repeat.
+        width = self.norm.width
+        if n >= width and (n == width or self._pow2):
+            # Full/over-width cycles add a whole 1.0 of BASE each; the
+            # over-wide carry growth is the same exact dyadic every cycle.
             self._add(Component.BASE, float(k))
+            if n > width:
+                self.norm.carry += (n / width - 1.0) * float(k)
             return
         if n:
+            if self._pow2 and self.norm.carry == 0.0:
+                # Partial-width steady state: f = n/W exactly, carry stays
+                # 0.0; see DispatchAccountant.observe_repeat.
+                f = n / width
+                self._add(Component.BASE, f * float(k))
+                component, block_id = self._stall_target(obs)
+                self._add(component, (1.0 - f) * float(k), block_id=block_id)
+                return
             for _ in range(k):
                 self.observe(obs)
             return

@@ -123,6 +123,12 @@ class Cache:
             self.stats.prefetch_fills += 1
         return victim
 
+    def fingerprint(self) -> tuple:
+        """Structural state snapshot for the replay engine's fixed-point
+        check: every tag and dirty bit, in LRU order per set.  Counters
+        are excluded — the engine advances them arithmetically."""
+        return tuple(tuple(s.items()) for s in self._sets)
+
     def mark_dirty(self, line: int) -> None:
         """Set the dirty bit if the line is present."""
         cache_set = self._set_for(line)

@@ -37,6 +37,18 @@ class DramModel:
         self._next_slot = start + self.config.cycles_per_line
         self.accesses += 1
 
+    def fingerprint(self, now: float) -> float:
+        """Service-queue headroom relative to ``now`` (replay engine); an
+        expired slot cannot delay any future request, so it normalizes to
+        0.0.  Counters are excluded."""
+        slot = self._next_slot
+        return slot - now if slot > now else 0.0
+
+    def shift_time(self, now: float, delta: float) -> None:
+        """Translate a still-pending service slot by ``delta`` (replay)."""
+        if self._next_slot > now:
+            self._next_slot += delta
+
     @property
     def average_queue_delay(self) -> float:
         if self.accesses == 0:

@@ -238,6 +238,63 @@ class MemoryHierarchy:
             heappop(events)
         return events[0] if events else math.inf
 
+    def _levels(self) -> list[_Level]:
+        """Every distinct level once (L2/L3 are shared by both chains)."""
+        return [self._ichain[0], self._dchain[0], *self._ichain[1:]]
+
+    def fingerprint(self, now: float) -> tuple:
+        """Full structural state modulo time shift (replay fixed point).
+
+        Composes every cache's tag/LRU state, busy MSHR slots and live
+        outstanding fills (times relative to ``now``), DRAM queue headroom,
+        both TLBs and the prefetcher table.  Counters and ``_fill_events``
+        are excluded: the former are delta-advanced by the engine, the
+        latter is purely observational (see :meth:`next_event`).
+        """
+        levels = tuple(
+            (
+                level.cache.fingerprint(),
+                level.mshr.fingerprint(now),
+                tuple(
+                    sorted(
+                        (line, t - now)
+                        for line, t in level.outstanding.items()
+                        if t > now
+                    )
+                ),
+            )
+            for level in self._levels()
+        )
+        return (
+            levels,
+            self.dram.fingerprint(now),
+            self.itlb.fingerprint(),
+            self.dtlb.fingerprint(),
+            self.prefetcher.fingerprint(),
+        )
+
+    def shift_time(self, now: float, delta: float) -> None:
+        """Translate every pending completion by ``delta`` (replay jump).
+
+        Expired times are left untouched — they are behaviourally inert
+        (lazily deleted / popped) and shifting only the live ones keeps the
+        state bit-identical to what a cycle-by-cycle run would hold at the
+        destination cycle.
+        """
+        for level in self._levels():
+            level.mshr.shift_time(now, delta)
+            outstanding = level.outstanding
+            for line, t in outstanding.items():
+                if t > now:
+                    outstanding[line] = t + delta
+        self.dram.shift_time(now, delta)
+        # Identity below ``now``, +delta above: monotone, so the heap
+        # invariant survives an in-place rewrite.
+        events = self._fill_events
+        for i, t in enumerate(events):
+            if t > now:
+                events[i] = t + delta
+
     # -- statistics --------------------------------------------------------------
 
     def stats(self) -> dict[str, dict[str, float]]:

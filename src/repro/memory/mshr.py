@@ -54,6 +54,27 @@ class MshrFile:
         ``release``."""
         heapq.heappush(self._busy, release)
 
+    def fingerprint(self, now: float) -> tuple:
+        """Busy-slot release times relative to ``now`` (replay engine).
+
+        Expired entries are excluded: :meth:`acquire` pops them before they
+        can influence a grant, so their presence is behaviourally inert.
+        The heap's internal layout is normalized away by sorting — only the
+        multiset of release times matters to future grants.
+        """
+        return tuple(sorted(t - now for t in self._busy if t > now))
+
+    def shift_time(self, now: float, delta: float) -> None:
+        """Translate still-busy release times by ``delta`` (replay jump).
+
+        The map is identity below ``now`` and ``+delta`` above it, which is
+        monotone, so the heap invariant is preserved in place.
+        """
+        busy = self._busy
+        for i, t in enumerate(busy):
+            if t > now:
+                busy[i] = t + delta
+
     def outstanding(self, now: float) -> int:
         """Number of slots still busy at ``now`` (diagnostic)."""
         return sum(1 for t in self._busy if t > now)

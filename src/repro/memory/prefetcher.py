@@ -96,5 +96,13 @@ class StreamPrefetcher:
             self.issued += len(targets)
         return targets
 
+    def fingerprint(self) -> tuple:
+        """Stream-table snapshot in LRU order (replay engine fixed-point
+        check); the ``issued``/``triggers`` counters are excluded."""
+        return tuple(
+            (region, s.last_line, s.direction, s.confidence, s.frontier)
+            for region, s in self._streams.items()
+        )
+
     def reset(self) -> None:
         self._streams.clear()

@@ -42,6 +42,11 @@ class Tlb:
         entries[page] = None
         return self.config.miss_penalty
 
+    def fingerprint(self) -> tuple:
+        """Entry set in LRU order (the replay engine's fixed-point check);
+        counters are excluded (delta-advanced)."""
+        return tuple(self._entries)
+
     @property
     def miss_rate(self) -> float:
         if self.accesses == 0:

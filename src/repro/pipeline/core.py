@@ -27,6 +27,7 @@ from repro.isa.uops import UopClass
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.frontend import Frontend
 from repro.pipeline.inflight import POOL_MUL, InflightUop, UopPool
+from repro.pipeline.replay import ReplayEngine, find_period
 from repro.pipeline.resources import FunctionalUnitPool
 from repro.pipeline.result import SimResult
 
@@ -44,6 +45,10 @@ ENV_FAST_FORWARD = "REPRO_FAST_FORWARD"
 #: Inherited by pool worker processes like the other REPRO_* hatches.
 ENV_LEGACY_ISSUE_SCAN = "REPRO_LEGACY_ISSUE_SCAN"
 
+#: Environment escape hatch for the periodic steady-state replay engine.
+#: Set to "0" to disable replay everywhere (including pool workers).
+ENV_REPLAY = "REPRO_REPLAY"
+
 
 def fast_forward_default() -> bool:
     """Fast-forward setting from the environment (on unless ``"0"``)."""
@@ -53,6 +58,11 @@ def fast_forward_default() -> bool:
 def legacy_issue_scan_default() -> bool:
     """Legacy issue-scan setting from the environment (off unless ``"1"``)."""
     return os.environ.get(ENV_LEGACY_ISSUE_SCAN, "0") == "1"
+
+
+def replay_default() -> bool:
+    """Replay setting from the environment (on unless ``"0"``)."""
+    return os.environ.get(ENV_REPLAY, "1") != "0"
 
 
 class _UopSnapshot:
@@ -107,6 +117,7 @@ class CoreSimulator:
         topdown: bool = False,
         fast_forward: bool | None = None,
         legacy_issue_scan: bool | None = None,
+        replay: bool | None = None,
     ) -> None:
         if config.memory is None:
             raise ValueError("core configuration needs a memory hierarchy")
@@ -264,6 +275,26 @@ class CoreSimulator:
         # inputs of the deferred walks only change through events that
         # set ``_rs_dirty`` and therefore force a new select first.
         self._lazy_prod = self._batch or not accounting
+        # Periodic steady-state replay: record one loop iteration's worth
+        # of accounting once the machine provably reaches a fixed point
+        # (modulo a uniform shift), then skip whole periods at a time.
+        # Bitwise identical results; ``replay=False`` / REPRO_REPLAY=0
+        # forces cycle-by-cycle simulation of active loops.  Armed only
+        # in event mode with signature batching (or with accounting off)
+        # and only when the trace itself is periodic.
+        self.replay_windows = 0
+        self.replay_cycles_skipped = 0
+        self._replay_enabled = replay_default() if replay is None else replay
+        self._replay: ReplayEngine | None = None
+        self._replay_rec = False
+        if (
+            self._replay_enabled
+            and self._event
+            and (self._batch or self.collector is None)
+        ):
+            region = find_period(program)
+            if region is not None:
+                self._replay = ReplayEngine(self, region[0], region[1])
 
     # -- top-level driver --------------------------------------------------------
 
@@ -318,6 +349,10 @@ class CoreSimulator:
             branch_mispredicts=self.predictor.mispredicts,
             wrong_path_uops=self.frontend.delivered_wrong,
             wall_seconds=wall,
+            ff_windows=self.ff_windows,
+            ff_cycles_skipped=self.ff_cycles_skipped,
+            replay_windows=self.replay_windows,
+            replay_cycles_skipped=self.replay_cycles_skipped,
         )
 
     def _finished(self) -> bool:
@@ -512,6 +547,15 @@ class CoreSimulator:
         collector = self.collector
         batch = self._batch
 
+        replay = self._replay
+        if replay is not None:
+            skipped = replay.on_cycle(cycle)
+            if skipped:
+                # The engine already advanced all state; it only could
+                # not set ``cycle`` (the local is re-read next step).
+                self.cycle = cycle + skipped
+                return
+
         if self.unsched_remaining > 0:
             # Core descheduled: nothing moves; the cycle is Unsched.
             self.unsched_remaining -= 1
@@ -531,6 +575,10 @@ class CoreSimulator:
                         obs.unscheduled = True
                         self._bat_sig = _UNSCHED_SIG
                         self._bat_k = 1
+                    if self._replay_rec:
+                        replay.note_cycle(
+                            _UNSCHED_SIG, 1, self._bat_k > 1
+                        )
                 else:
                     obs = self._obs
                     obs.reset()
@@ -1004,6 +1052,8 @@ class CoreSimulator:
                 )
                 if sig == self._bat_sig:
                     self._bat_k += 1
+                    if self._replay_rec:
+                        self._replay.note_cycle(sig, 1, True)
                 else:
                     self._retain(
                         sig, 1, n_dispatch, n_dispatch_wrong, n_issue,
@@ -1013,6 +1063,8 @@ class CoreSimulator:
                         vu_non_vfp, vfp_structural, wp_active, fe_reason,
                         head, first_producer, oldest_vfp_producer,
                     )
+                    if self._replay_rec:
+                        self._replay.note_cycle(sig, 1, False)
             else:
                 obs = self._obs
                 obs.reset()
@@ -1121,6 +1173,8 @@ class CoreSimulator:
                 )
                 if sig == self._bat_sig:
                     self._bat_k += k
+                    if self._replay_rec:
+                        self._replay.note_cycle(sig, k, True)
                 else:
                     self._retain(
                         sig, k, 0, 0, 0, 0, 0, 0.0, 0, 0.0, 0.0,
@@ -1129,6 +1183,8 @@ class CoreSimulator:
                         wp_active, fe_reason, head, first_producer,
                         oldest_vfp_producer,
                     )
+                    if self._replay_rec:
+                        self._replay.note_cycle(sig, k, False)
             else:
                 obs = self._obs
                 obs.reset()
@@ -1949,6 +2005,7 @@ def simulate(
     warmup_instructions: int = 0,
     topdown: bool = False,
     fast_forward: bool | None = None,
+    replay: bool | None = None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`CoreSimulator` and run it."""
     return CoreSimulator(
@@ -1960,4 +2017,5 @@ def simulate(
         warmup_instructions=warmup_instructions,
         topdown=topdown,
         fast_forward=fast_forward,
+        replay=replay,
     ).run()

@@ -202,6 +202,46 @@ class Frontend:
         ):
             self.icache_stall_cycles += min(k, self._stall_until - cycle)
 
+    def fingerprint(self, cycle: int) -> tuple:
+        """Delivery-state snapshot for the replay engine, shift-normalized.
+
+        Trace position, ``seq`` and ``block`` are deliberately excluded —
+        the engine compares them modulo the detected period and shifts
+        them on a jump.  Counters are excluded (delta-advanced).  The
+        stall deadline is expressed relative to ``cycle``; ``_last_line``
+        stays absolute because loop bodies refetch the same lines each
+        iteration.  The wrong-path RNG state is included verbatim: it
+        never revisits a prior state once consumed, so any window that
+        contains wrong-path delivery self-excludes.
+        """
+        stall = self._stall_until - cycle
+        return (
+            self._pending_instr,
+            self._decoded_idx,
+            self._decoded_len,
+            stall if stall > 0 else 0,
+            self._stall_reason,
+            self._last_reason,
+            self._last_line,
+            self.wrong_path,
+            self.resolving_branch is None,
+            self.waiting_sync is None,
+            self._wp_prev_dst,
+            self._wp_counter,
+            self._wp_data_addr,
+            self._rng.getstate(),
+        )
+
+    def shift(
+        self, cycle: int, cycles: int, instrs: int, seqs: int, blocks: int
+    ) -> None:
+        """Advance trace position and name spaces after a replay jump."""
+        self._idx += instrs
+        self.seq += seqs
+        self.block += blocks
+        if self._stall_until > cycle:
+            self._stall_until += cycles
+
     # -- control from the core ------------------------------------------------
 
     def redirect(self, cycle: int) -> None:

@@ -102,5 +102,25 @@ class FunctionalUnitPool:
                 break
         self._mul_busy_until[best] = cycle + latency
 
+    def fingerprint(self, cycle: int) -> tuple:
+        """Still-busy multiply-unit deadlines relative to ``cycle``.
+
+        Expired entries are behaviourally free (``_reserve_mul`` only
+        needs *some* free unit, and which expired slot gets overwritten
+        never changes the surviving busy multiset), so only the sorted
+        live deadlines matter.  ``_free``/``_issue_free`` are per-cycle
+        scratch reset in :meth:`begin_issue` and are excluded.
+        """
+        return tuple(
+            sorted(b - cycle for b in self._mul_busy_until if b > cycle)
+        )
+
+    def shift_time(self, cycle: int, delta: int) -> None:
+        """Translate live busy deadlines by ``delta`` (replay jump)."""
+        busy = self._mul_busy_until
+        for i, b in enumerate(busy):
+            if b > cycle:
+                busy[i] = b + delta
+
     def reset(self) -> None:
         self._mul_busy_until = [0] * self.config.mul_units

@@ -12,7 +12,7 @@ from repro.core.multistage import MultiStageReport
 #: and stored payload: bump it whenever the meaning of a counter, a stack
 #: component set, or any :class:`SimResult` field changes, so stale cached
 #: results are treated as misses instead of silently reused.
-ACCOUNTING_SCHEMA_VERSION = 1
+ACCOUNTING_SCHEMA_VERSION = 2
 
 
 @dataclass(slots=True)
@@ -38,6 +38,14 @@ class SimResult:
     wrong_path_uops: int = 0
     #: Host wall-clock seconds spent simulating.
     wall_seconds: float = 0.0
+    #: Quiescent-cycle fast-forward telemetry (windows taken / cycles
+    #: skipped).  Host-side performance counters: they never influence
+    #: simulated results, which are bitwise identical either way.
+    ff_windows: int = 0
+    ff_cycles_skipped: int = 0
+    #: Periodic steady-state replay telemetry (same contract).
+    replay_windows: int = 0
+    replay_cycles_skipped: int = 0
 
     @property
     def cpi(self) -> float:
@@ -90,6 +98,10 @@ class SimResult:
             "branch_mispredicts": self.branch_mispredicts,
             "wrong_path_uops": self.wrong_path_uops,
             "wall_seconds": self.wall_seconds,
+            "ff_windows": self.ff_windows,
+            "ff_cycles_skipped": self.ff_cycles_skipped,
+            "replay_windows": self.replay_windows,
+            "replay_cycles_skipped": self.replay_cycles_skipped,
         }
 
     @classmethod
@@ -112,6 +124,10 @@ class SimResult:
             branch_mispredicts=data["branch_mispredicts"],
             wrong_path_uops=data["wrong_path_uops"],
             wall_seconds=data["wall_seconds"],
+            ff_windows=data.get("ff_windows", 0),
+            ff_cycles_skipped=data.get("ff_cycles_skipped", 0),
+            replay_windows=data.get("replay_windows", 0),
+            replay_cycles_skipped=data.get("replay_cycles_skipped", 0),
         )
 
     def fingerprint(self) -> str:

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from repro.isa import decoder as asm
 from repro.isa.instructions import Program
-from repro.workloads.base import DATA_BASE, TraceBuilder, permutation_chain
+from repro.workloads.base import (
+    DATA_BASE,
+    VEC_REGS,
+    TraceBuilder,
+    permutation_chain,
+)
 
 #: Cache-line size assumed when spacing addresses (matches spec_like).
 LINE = 64
@@ -46,4 +51,39 @@ def chase_like(instructions: int, seed: int = 1) -> Program:
         # Loop-back branch: always taken, perfectly predictable.
         b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
         cur = chase[cur]
+    return b.program()
+
+
+def spin_like(instructions: int, seed: int = 1) -> Program:
+    """Compute-bound vector FMA spin loop (a peak-throughput microbenchmark).
+
+    Eight independent 8-lane FMAs per iteration read two constant vector
+    registers that are never written, so every FMA is ready the cycle it
+    dispatches: two vector units sustain full FMA throughput (the FLOPS
+    stack is all Base on an 8-lane machine and shows a steady Mask
+    component on a 16-lane one).  One fixed-address L1-hit load and one
+    counter ALU op keep the scalar side alive, and the only branch is the
+    perfectly-predicted loop back edge.
+
+    The loop body is completely static — identical instruction objects
+    every iteration — so the trace is exactly periodic from the first
+    instruction: this is the periodic steady-state replay engine's best
+    case (active, zero-stall cycles the quiescent fast-forward engine can
+    never skip) and the benchmark suite's designated replay trace.
+    """
+    b = TraceBuilder("spin", seed)
+    loop_pc = b.pc
+    while len(b) < instructions:
+        b.at(loop_pc)
+        for slot in range(8):
+            b.emit(asm.fma(
+                b.pc,
+                dst=VEC_REGS[slot],
+                srcs=(VEC_REGS[8], VEC_REGS[9]),
+                lanes=8,
+                width_lanes=8,
+            ))
+        b.emit(asm.load(b.pc, dst=2, addr=DATA_BASE, addr_srcs=(1,)))
+        b.emit(asm.alu(b.pc, dst=3, srcs=(3,)))
+        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
     return b.program()

@@ -72,6 +72,11 @@ WORKLOADS["chase"] = WorkloadSpec(
     "DRAM-latency bound: fast-forward engine best case",
     micro.chase_like, default_instructions=20_000,
 )
+WORKLOADS["spin"] = WorkloadSpec(
+    "spin", "vector FMA spin microbenchmark",
+    "peak-FLOPS steady loop: periodic replay engine best case",
+    micro.spin_like, default_instructions=20_000,
+)
 
 
 def _register_deepbench() -> None:

@@ -360,18 +360,26 @@ def exchange2_like(instructions: int, seed: int = 1) -> Program:
 
     Near-ideal CPI: wide independent ALU work, predictable branches, tiny
     footprints.  A 'zero' case that anchors the Fig. 2 filter.
+
+    The per-iteration load rotates deterministically through one cache
+    line (same line, same page every access), modelling the L1-resident
+    stack traffic of the real benchmark; the rotation gives the trace an
+    exact 8-iteration super-period, which also makes it a natural target
+    for the periodic steady-state replay engine.
     """
     b = TraceBuilder("exchange2", seed)
     loop_pc = b.pc
+    iteration = 0
     while len(b) < instructions:
         b.at(loop_pc)
         for lane in range(8):
             b.emit(asm.alu(b.pc, dst=2 + lane, srcs=(2 + lane,)))
         b.emit(asm.mul(b.pc, dst=12, srcs=(2,)))
         b.emit(asm.alu(b.pc, dst=13, srcs=(3, 4)))
-        addr = DATA_BASE + b.rng.randrange(64) * 8
+        addr = DATA_BASE + (iteration % 8) * 8
         b.emit(asm.load(b.pc, dst=14, addr=addr, addr_srcs=(1,)))
         b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+        iteration += 1
     return b.program()
 
 

@@ -39,9 +39,11 @@ N = 2_000
 
 
 def _comparable(result) -> dict:
-    """Everything that must be identical (host timing excluded)."""
+    """Everything that must be identical (host-side telemetry excluded)."""
     payload = result.to_dict()
-    payload.pop("wall_seconds")
+    for key in ("wall_seconds", "ff_windows", "ff_cycles_skipped",
+                "replay_windows", "replay_cycles_skipped"):
+        payload.pop(key)
     return payload
 
 
