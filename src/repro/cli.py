@@ -13,6 +13,7 @@ Subcommands::
     repro profile mcf [--core bdw]               # cProfile one simulation
     repro cache stats | clear                    # persistent result cache
     repro failures list | clear                  # persisted failure reports
+    repro checkpoints list | clear               # mid-simulation snapshots
 
 Experiment subcommands accept ``--jobs`` (default: ``$REPRO_JOBS`` or the
 CPU count) and print a one-line harness summary — cases scheduled, cache
@@ -20,8 +21,10 @@ hits, wall time and simulated uops/sec — after their output.  They also
 accept the supervision flags ``--case-timeout`` (per-case deadline in
 seconds; default scales with each case's instruction count),
 ``--keep-going`` (finish the batch despite failed cases and report them
-instead of aborting) and ``--no-strict`` (downgrade accounting invariant
-violations from errors to warnings).
+instead of aborting), ``--no-strict`` (downgrade accounting invariant
+violations from errors to warnings) and ``--checkpoint-interval`` (take a
+crash-safe snapshot every N committed instructions so retried cases
+resume instead of restarting).
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from repro.experiments.overhead import measure_overhead
 from repro.experiments.parallel import summarize_since, telemetry_mark
 from repro.experiments.runner import clear_cache, run_case
 from repro.experiments.cache import get_disk_cache
+from repro.pipeline import checkpoint as pipeline_checkpoint
 from repro.pipeline import core as pipeline_core
 from repro.viz.ascii import (
     render_boxplot_table,
@@ -293,12 +297,44 @@ def _cmd_failures(args: argparse.Namespace) -> int:
         for record in records
     ]
     print(render_table(rows))
-    last = records[-1]
+    last = records[0]  # newest-first ordering
     attempts = last.get("attempts", [])
     if attempts:
         print()
         print(f"last error of {last.get('label', last['key'][:12])}:")
         print(f"  {attempts[-1].get('error', '?')}")
+    return 0
+
+
+def _cmd_checkpoints(args: argparse.Namespace) -> int:
+    if args.action == "clear":
+        removed = pipeline_checkpoint.clear_checkpoints()
+        print(
+            f"removed {removed} checkpoint(s) from "
+            f"{pipeline_checkpoint.checkpoint_root()}"
+        )
+        return 0
+    rows = pipeline_checkpoint.list_checkpoints()
+    if not rows:
+        print(
+            f"no checkpoints under {pipeline_checkpoint.checkpoint_root()}"
+        )
+        return 0
+    print(
+        render_table(
+            [
+                {
+                    "key": row["key"][:12],
+                    "case": row["case"],
+                    "checkpoints": row["checkpoints"],
+                    "newest_instrs": row["newest_instrs"],
+                    "KiB": round(row["bytes"] / 1024, 1),
+                    "age_s": round(row["age_seconds"], 1),
+                }
+                for row in rows
+            ]
+        )
+    )
     return 0
 
 
@@ -335,6 +371,14 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
         help="disable the periodic steady-state replay engine (results "
              "are bitwise identical either way; same contract as "
              "--no-fast-forward)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None,
+        dest="checkpoint_interval", metavar="N",
+        help="write a crash-safe snapshot every N committed instructions "
+             "(default: $REPRO_CHECKPOINT_INTERVAL, else off); retried "
+             "cases resume from the newest valid checkpoint with bitwise-"
+             "identical results",
     )
 
 
@@ -537,6 +581,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "delete all records")
     fl.set_defaults(func=_cmd_failures)
 
+    ck = sub.add_parser(
+        "checkpoints",
+        help="inspect or clear crash-recovery simulation snapshots",
+    )
+    ck.add_argument("action", choices=("list", "clear"),
+                    help="show per-case checkpoint progress, or delete "
+                         "every snapshot")
+    ck.set_defaults(func=_cmd_checkpoints)
+
     return parser
 
 
@@ -553,6 +606,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.environ[pipeline_core.ENV_FAST_FORWARD] = "0"
     if getattr(args, "no_replay", False):
         os.environ[pipeline_core.ENV_REPLAY] = "0"
+    interval = getattr(args, "checkpoint_interval", None)
+    if interval is not None:
+        # Env-var plumbing so pool workers (fork or spawn) inherit the
+        # cadence exactly like the other harness toggles.
+        os.environ[pipeline_checkpoint.ENV_CHECKPOINT_INTERVAL] = str(
+            interval
+        )
     # Experiment subcommands (the ones with --jobs) get a harness summary
     # line covering every batch the command scheduled.
     harnessed = hasattr(args, "jobs")

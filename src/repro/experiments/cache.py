@@ -145,6 +145,10 @@ class HarnessTelemetry:
     corrupt_entries: int = 0
     uops_simulated: int = 0
     sim_seconds: float = 0.0
+    #: Checkpoint resumes: how many runs continued from a snapshot, and
+    #: the total committed instructions those snapshots preserved.
+    resume_events: int = 0
+    resumed_instructions: int = 0
     #: (case label, simulated wall seconds) per simulation, newest last.
     case_seconds: list[tuple[str, float]] = field(default_factory=list)
 
@@ -156,6 +160,8 @@ class HarnessTelemetry:
         self.corrupt_entries = 0
         self.uops_simulated = 0
         self.sim_seconds = 0.0
+        self.resume_events = 0
+        self.resumed_instructions = 0
         self.case_seconds.clear()
 
     def record_simulation(self, label: str, result: SimResult) -> None:
@@ -163,6 +169,11 @@ class HarnessTelemetry:
         self.uops_simulated += result.committed_uops
         self.sim_seconds += result.wall_seconds
         self.case_seconds.append((label, result.wall_seconds))
+
+    def record_resume(self, committed_instrs: int) -> None:
+        """A run continued from a checkpoint holding this much progress."""
+        self.resume_events += 1
+        self.resumed_instructions += committed_instrs
 
     def counters(self) -> dict[str, float]:
         return {
@@ -173,6 +184,8 @@ class HarnessTelemetry:
             "corrupt_entries": self.corrupt_entries,
             "uops_simulated": self.uops_simulated,
             "sim_seconds": self.sim_seconds,
+            "resume_events": self.resume_events,
+            "resumed_instructions": self.resumed_instructions,
         }
 
 

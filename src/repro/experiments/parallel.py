@@ -96,6 +96,9 @@ class BatchStats:
     timeouts: int = 0
     pool_rebuilds: int = 0
     serial_fallback: bool = False
+    #: Checkpoint resumes (cases that continued instead of restarting).
+    resumes: int = 0
+    resumed_instructions: int = 0
     #: Per-key report for every case given up on this batch.
     failure_reports: dict[str, FailureReport] = field(default_factory=dict)
 
@@ -115,6 +118,11 @@ class BatchStats:
             f"({rate / 1e3:.0f}k uops/s)"
         )
         extras = []
+        if self.resumes:
+            extras.append(
+                f"{self.resumes} resumed "
+                f"({self.resumed_instructions} instrs preserved)"
+            )
         if self.retries:
             extras.append(f"{self.retries} retries")
         if self.timeouts:
@@ -144,6 +152,7 @@ def run_cases(
     case_timeout: float | None = None,
     max_attempts: int | None = None,
     retry_backoff: float | None = None,
+    checkpoint_interval: int | None = None,
 ) -> list[SimResult | None]:
     """Resolve a batch of case specs, in parallel where possible.
 
@@ -160,6 +169,10 @@ def run_cases(
     the batch completes; with ``keep_going=True`` failed slots come back
     as ``None`` instead.  ``case_timeout`` overrides the per-case
     deadline otherwise scaled from each spec's instruction count.
+    ``checkpoint_interval`` turns on crash-safe mid-simulation snapshots
+    every that many committed instructions (else
+    ``$REPRO_CHECKPOINT_INTERVAL``), letting retried cases resume
+    instead of restarting.
     """
     spec_list: Sequence[CaseSpec] = list(specs)
     jobs = resolve_jobs(jobs)
@@ -190,6 +203,7 @@ def run_cases(
             case_timeout=case_timeout,
             max_attempts=max_attempts,
             retry_backoff=retry_backoff,
+            checkpoint_interval=checkpoint_interval,
         )
         results.update(outcome.results)
 
@@ -214,6 +228,8 @@ def run_cases(
         timeouts=outcome.timeouts,
         pool_rebuilds=outcome.pool_rebuilds,
         serial_fallback=outcome.serial_fallback,
+        resumes=outcome.resumes,
+        resumed_instructions=outcome.resumed_instructions,
         failure_reports=dict(outcome.failures),
     )
     global LAST_BATCH
@@ -244,10 +260,20 @@ def summarize_since(mark: tuple[float, dict[str, float]]) -> str:
     disk = int(after["disk_hits"] - before["disk_hits"])
     uops = after["uops_simulated"] - before["uops_simulated"]
     sim_seconds = after["sim_seconds"] - before["sim_seconds"]
+    resumes = int(after["resume_events"] - before["resume_events"])
+    preserved = int(
+        after["resumed_instructions"] - before["resumed_instructions"]
+    )
     rate = uops / wall if wall > 0 else 0.0
-    return (
+    line = (
         f"[harness] {simulated + memo + disk} case lookups: "
         f"{simulated} simulated, {memo} memo hits, {disk} disk hits | "
         f"wall={wall:.2f}s sim={sim_seconds:.2f}s "
         f"({rate / 1e3:.0f}k uops/s)"
     )
+    if resumes:
+        line += (
+            f" | {resumes} checkpoint resumes "
+            f"({preserved} instrs preserved)"
+        )
+    return line

@@ -27,7 +27,8 @@ from repro.experiments.cache import (
     get_disk_cache,
 )
 from repro.isa.instructions import Program
-from repro.pipeline.core import simulate
+from repro.pipeline import checkpoint as ckpt
+from repro.pipeline.core import CoreSimulator
 from repro.pipeline.result import SimResult
 from repro.workloads.registry import get_workload
 
@@ -36,6 +37,7 @@ __all__ = [
     "CaseSpec",
     "clear_cache",
     "execute_spec",
+    "execute_spec_checkpointed",
     "get_trace",
     "lookup_cached",
     "run_case",
@@ -76,20 +78,65 @@ def execute_spec(spec: CaseSpec) -> SimResult:
     returned: in strict mode (the default) a violating result raises
     :class:`repro.core.invariants.InvariantViolation` instead of flowing
     into reports or caches.
+
+    When ``REPRO_CHECKPOINT_INTERVAL`` is set, the run takes crash-safe
+    snapshots and resumes from the newest valid one left by a previous
+    attempt (see :func:`execute_spec_checkpointed`).
+    """
+    result, _resumed = execute_spec_checkpointed(
+        spec, ckpt.checkpoint_interval_default()
+    )
+    return result
+
+
+def execute_spec_checkpointed(
+    spec: CaseSpec,
+    interval: int | None,
+    on_checkpoint=None,
+) -> tuple[SimResult, int | None]:
+    """Simulate one case with periodic crash-safe checkpoints.
+
+    With ``interval`` set, the case resumes from the newest valid
+    checkpoint under its cache key when one exists (corrupt files are
+    evicted on the way — see
+    :func:`repro.pipeline.checkpoint.latest_valid_checkpoint`) and writes
+    a new checkpoint every ``interval`` committed instructions.  Returns
+    ``(result, resumed_from)`` where ``resumed_from`` is the committed
+    instruction count of the checkpoint the run continued from, or None
+    for an uninterrupted (or checkpoint-free) run.  Checkpoints are *not*
+    deleted here: the supervisor clears them once the result is safely
+    published, so a crash between finish and publish still recovers.
     """
     trace = get_trace(spec.workload, spec.instructions, spec.seed)
-    config = spec.resolved_config()
-    warmup = int(len(trace) * spec.warmup_fraction)
-    result = simulate(
-        trace,
-        config,
-        mode=spec.mode,
-        warmup_instructions=warmup,
-        seed=spec.simulate_seed,
+    resumed_from: int | None = None
+    sim: CoreSimulator | None = None
+    key = spec.key()
+    if interval:
+        found = ckpt.latest_valid_checkpoint(key)
+        if found is not None:
+            _path, payload, meta = found
+            sim = CoreSimulator.from_snapshot(payload)
+            resumed_from = int(meta.get("committed_instrs", 0))
+    if sim is None:
+        config = spec.resolved_config()
+        warmup = int(len(trace) * spec.warmup_fraction)
+        sim = CoreSimulator(
+            trace,
+            config,
+            mode=spec.mode,
+            warmup_instructions=warmup,
+            seed=spec.simulate_seed,
+        )
+    result = sim.run(
+        checkpoint_interval=interval,
+        checkpoint_key=key if interval else None,
+        on_checkpoint=on_checkpoint,
     )
     TELEMETRY.record_simulation(spec.label(), result)
+    if resumed_from is not None:
+        TELEMETRY.record_resume(resumed_from)
     invariants.verify_result(result, context=spec.label())
-    return result
+    return result, resumed_from
 
 
 def lookup_cached(key: str) -> SimResult | None:

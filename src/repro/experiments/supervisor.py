@@ -21,7 +21,14 @@ routine and a batch must survive them.  This module wraps every case in a
   re-attempt exactly the failed cases (successes delete their stale
   record);
 * a ``KeyboardInterrupt`` anywhere in the batch cancels pending futures
-  and reaps the pool instead of stranding orphan workers.
+  and reaps the pool instead of stranding orphan workers;
+* **crash recovery via checkpoints**: with checkpointing active
+  (``checkpoint_interval=`` / ``--checkpoint-interval`` /
+  ``$REPRO_CHECKPOINT_INTERVAL``), workers snapshot mid-simulation and a
+  retry resumes from the newest valid checkpoint (corrupt files are
+  checksum-detected and evicted, falling back to older ones, then a
+  fresh start) with bitwise-identical results; checkpoints are cleared
+  once the case's result is safely published.
 
 Every supervision path is exercised by tests through a **deterministic
 fault-injection hook**: set :data:`fault_plan` (monkeypatchable) or
@@ -46,6 +53,7 @@ from pathlib import Path
 from repro.core import invariants
 from repro.experiments import runner
 from repro.experiments.cache import TELEMETRY, CaseSpec
+from repro.pipeline import checkpoint as ckpt
 from repro.pipeline.result import SimResult
 
 #: Environment variable: one deadline (seconds) for every case.
@@ -54,6 +62,12 @@ ENV_CASE_TIMEOUT = "REPRO_CASE_TIMEOUT"
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 #: Environment variable overriding the failure-report directory.
 ENV_FAILURES_DIR = "REPRO_FAILURES_DIR"
+#: Environment variable capping how many failure reports are retained.
+ENV_MAX_FAILURES = "REPRO_MAX_FAILURES"
+
+#: Keep the newest this-many failure reports (older ones are evicted by
+#: :func:`save_failure`); override with ``$REPRO_MAX_FAILURES``.
+DEFAULT_MAX_FAILURES = 200
 
 #: Total attempts per case (first try + retries).
 DEFAULT_MAX_ATTEMPTS = 3
@@ -78,9 +92,26 @@ FAILURE_SCHEMA = 1
 #: Kinds: ``crash`` (raise), ``abort`` (kill the worker process),
 #: ``hang`` (sleep ``seconds``, default 30), ``interrupt``
 #: (KeyboardInterrupt), ``corrupt`` (ship a damaged payload; ``style`` in
-#: {"cycles", "schema", "garbage"}).  ``times`` (default 1) faults the
-#: first N attempts only, so retries can be seen to recover.
+#: {"cycles", "schema", "garbage"}), ``sigkill_mid_case`` (SIGKILL the
+#: worker right after its first checkpoint lands — the retry must resume),
+#: ``truncate_checkpoint`` (tear the newest checkpoint file before the
+#: attempt — the recovery ladder must evict it and fall back).  ``times``
+#: (default 1) faults the first N attempts only, so retries can be seen
+#: to recover.
 fault_plan: dict | None = None
+
+#: Every fault kind the injection hook understands.
+FAULT_KINDS = frozenset(
+    {
+        "crash",
+        "abort",
+        "hang",
+        "interrupt",
+        "corrupt",
+        "sigkill_mid_case",
+        "truncate_checkpoint",
+    }
+)
 
 
 class FaultInjected(RuntimeError):
@@ -149,6 +180,10 @@ class FailureReport:
     classification: str
     attempts: list[Attempt] = field(default_factory=list)
     spec: dict = field(default_factory=dict)
+    #: Committed-instruction progress preserved in checkpoints: the most
+    #: recent resume's starting point, else the newest surviving
+    #: checkpoint's progress, else None (the case never checkpointed).
+    resumed_from: int | None = None
 
     def to_json_dict(self) -> dict:
         return {
@@ -158,6 +193,7 @@ class FailureReport:
             "classification": self.classification,
             "attempts": [asdict(a) for a in self.attempts],
             "spec": self.spec,
+            "resumed_from": self.resumed_from,
             "saved_unix": time.time(),
         }
 
@@ -172,6 +208,10 @@ class SupervisionOutcome:
     timeouts: int = 0
     pool_rebuilds: int = 0
     serial_fallback: bool = False
+    #: Cases that continued from a checkpoint instead of starting over.
+    resumes: int = 0
+    #: Committed instructions those resumes preserved (work not redone).
+    resumed_instructions: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -190,13 +230,59 @@ def failure_path(key: str) -> Path:
     return failures_dir() / f"{key}.json"
 
 
+def max_failures() -> int:
+    """Retention cap for ``results/failures/``: ``$REPRO_MAX_FAILURES``
+    or :data:`DEFAULT_MAX_FAILURES`.  Zero or negative disables eviction.
+    """
+    raw = os.environ.get(ENV_MAX_FAILURES, "").strip()
+    if not raw:
+        return DEFAULT_MAX_FAILURES
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_MAX_FAILURES} must be an integer report count, "
+            f"got {raw!r}"
+        ) from None
+
+
+def _evict_old_failures(cap: int) -> None:
+    """Keep only the newest ``cap`` reports (by mtime, ties by name)."""
+    root = failures_dir()
+    if cap <= 0 or not root.is_dir():
+        return
+    paths = []
+    for path in root.glob("*.json"):
+        try:
+            paths.append((path.stat().st_mtime, path.name, path))
+        except OSError:  # pragma: no cover - racing unlink
+            pass
+    if len(paths) <= cap:
+        return
+    paths.sort()
+    for _, _, path in paths[: len(paths) - cap]:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing unlink
+            pass
+
+
 def save_failure(report: FailureReport) -> None:
-    """Persist one report atomically (rename over any older record)."""
+    """Persist one report atomically (rename over any older record).
+
+    The temp file is fsynced before the rename so a machine-level crash
+    cannot publish a torn record, and the store is capped afterwards:
+    only the newest :func:`max_failures` reports survive, so an unlucky
+    month of sweeps cannot grow ``results/failures/`` without bound.
+    """
     path = failure_path(report.key)
     tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(json.dumps(report.to_json_dict(), indent=2))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except OSError:
         pass
@@ -205,6 +291,7 @@ def save_failure(report: FailureReport) -> None:
             tmp.unlink()
         except OSError:
             pass
+    _evict_old_failures(max_failures())
 
 
 def load_failure(key: str) -> dict | None:
@@ -216,7 +303,7 @@ def load_failure(key: str) -> dict | None:
 
 
 def list_failures() -> list[dict]:
-    """Every readable failure record, sorted by label then key."""
+    """Every readable failure record, newest first (by save time)."""
     root = failures_dir()
     if not root.is_dir():
         return []
@@ -228,7 +315,11 @@ def list_failures() -> list[dict]:
             continue
         if isinstance(record, dict) and "key" in record:
             records.append(record)
-    return sorted(records, key=lambda r: (r.get("label", ""), r["key"]))
+    return sorted(
+        records,
+        key=lambda r: (-float(r.get("saved_unix", 0.0)),
+                       r.get("label", ""), r["key"]),
+    )
 
 
 def failed_keys() -> set[str]:
@@ -263,22 +354,59 @@ def clear_failures() -> int:
 # deterministic fault injection
 
 
+def _validate_plan(plan: dict, source: str) -> dict:
+    """Reject malformed fault plans with an actionable message.
+
+    ``source`` names where the plan came from (the env var or the module
+    attribute) so the error points at the thing to fix.  Always raises
+    ``ValueError`` subclasses, matching the historical contract.
+    """
+    if not isinstance(plan, dict):
+        raise ValueError(
+            f"{source} must be a JSON object mapping case matchers to "
+            f"fault dicts, got {type(plan).__name__}"
+        )
+    for matcher, fault in plan.items():
+        if not isinstance(fault, dict):
+            raise ValueError(
+                f"{source}[{matcher!r}] must be a fault object like "
+                f'{{"kind": "crash"}}, got {fault!r}'
+            )
+        kind = fault.get("kind")
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"{source}[{matcher!r}] has unknown fault kind {kind!r}; "
+                f"known kinds: {', '.join(sorted(FAULT_KINDS))}"
+            )
+    return plan
+
+
 def get_fault_plan() -> dict | None:
-    """The active fault plan: module override, else ``$REPRO_FAULT_PLAN``."""
+    """The active fault plan: module override, else ``$REPRO_FAULT_PLAN``.
+
+    Both sources are validated; a malformed plan raises ``ValueError``
+    naming the source, the offending entry and (for unparseable env
+    JSON) the error position inside the text — never a silent no-fault
+    run with a typo'd plan.
+    """
     if fault_plan is not None:
-        return fault_plan
+        return _validate_plan(fault_plan, "fault_plan")
     env = os.environ.get(ENV_FAULT_PLAN)
     if not env:
         return None
     try:
         plan = json.loads(env)
-    except ValueError as exc:
+    except json.JSONDecodeError as exc:
+        window = env[max(0, exc.pos - 20):exc.pos + 20]
+        raise ValueError(
+            f"{ENV_FAULT_PLAN} is not valid JSON: {exc.msg} at position "
+            f"{exc.pos} (near {window!r})"
+        ) from None
+    except ValueError as exc:  # pragma: no cover - non-decode JSON error
         raise ValueError(
             f"{ENV_FAULT_PLAN} is not valid JSON: {exc}"
         ) from None
-    if not isinstance(plan, dict):
-        raise ValueError(f"{ENV_FAULT_PLAN} must be a JSON object")
-    return plan
+    return _validate_plan(plan, ENV_FAULT_PLAN)
 
 
 def _fault_for(plan: dict | None, spec: CaseSpec, attempt: int) -> dict | None:
@@ -323,20 +451,71 @@ def _trigger_fault(fault: dict, *, in_pool: bool) -> None:
         time.sleep(float(fault.get("seconds", 30.0)))
 
 
+def _truncate_newest_checkpoint(key: str) -> None:
+    """Tear the newest checkpoint file the way a crashed writer or a bad
+    disk would (the recovery ladder must evict it, not resume into it)."""
+    paths = ckpt.list_case_checkpoints(key)
+    if not paths:
+        return
+    path = paths[-1]
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(max(size // 2, len(ckpt.MAGIC)))
+    except OSError:  # pragma: no cover - racing unlink
+        pass
+
+
 def _supervised_worker(
-    spec: CaseSpec, attempt: int, plan: dict | None, in_pool: bool = True
+    spec: CaseSpec,
+    attempt: int,
+    plan: dict | None,
+    in_pool: bool = True,
+    checkpoint_interval: int | None = None,
 ) -> dict | bytes:
     """One supervised attempt: inject any planned fault, then simulate.
 
     Runs in a pool worker (the plan travels as an argument so spawn
     children see it too) or in-process for the serial path.  Ships the
     result as a ``to_dict`` payload either way, so both paths exercise
-    the same schema-versioned round trip.
+    the same schema-versioned round trip; a resumed run notes its
+    starting progress under the ``"_resumed_from"`` key, which the
+    parent pops before schema validation.
     """
     fault = _fault_for(plan, spec, attempt)
+    on_checkpoint = None
     if fault is not None:
-        _trigger_fault(fault, in_pool=in_pool)
-    payload = runner.execute_spec(spec).to_dict()
+        kind = fault.get("kind")
+        if kind == "truncate_checkpoint":
+            _truncate_newest_checkpoint(spec.key())
+        elif kind == "sigkill_mid_case":
+            if not checkpoint_interval:
+                # No checkpoint will ever land: die immediately so the
+                # retry demonstrates fresh-start recovery instead.
+                if in_pool:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                raise FaultInjected(
+                    "injected sigkill (no checkpointing active)"
+                )
+            if in_pool:
+                def on_checkpoint(path, instrs):
+                    os.kill(os.getpid(), signal.SIGKILL)
+            else:
+                # In-process SIGKILL would take the whole supervisor
+                # down; degrade to an exception *after* the checkpoint
+                # has landed, so the serial retry still resumes.
+                def on_checkpoint(path, instrs):
+                    raise FaultInjected(
+                        "injected mid-case death after checkpoint"
+                    )
+        else:
+            _trigger_fault(fault, in_pool=in_pool)
+    result, resumed = runner.execute_spec_checkpointed(
+        spec, checkpoint_interval, on_checkpoint
+    )
+    payload = result.to_dict()
+    if resumed is not None:
+        payload["_resumed_from"] = resumed
     if fault is not None and fault.get("kind") == "corrupt":
         payload = _corrupt_payload(payload, fault.get("style", "cycles"))
     return payload
@@ -477,6 +656,19 @@ def _publish(
         runner.store_result(key, spec, result)
     outcome.results[key] = result
     discard_failure(key)
+    # Only after the result is safely published do the case's checkpoints
+    # become dead weight; clearing earlier would lose the recovery point
+    # for a crash between finish and publish.
+    ckpt.clear_checkpoints(key)
+
+
+def _pop_resumed(payload) -> int | None:
+    """Extract a worker's resume marker before schema validation."""
+    if isinstance(payload, dict):
+        resumed = payload.pop("_resumed_from", None)
+        if resumed is not None:
+            return int(resumed)
+    return None
 
 
 def _pool_round(
@@ -489,6 +681,8 @@ def _pool_round(
     outcome: SupervisionOutcome,
     timeout_override: float | None,
     use_cache: bool,
+    checkpoint_interval: int | None = None,
+    resumed: dict[str, int] | None = None,
 ) -> tuple[list[tuple[str, CaseSpec]], bool]:
     """One pool pass over ``pending``; returns (retry list, pool broke)."""
     context = None
@@ -505,7 +699,8 @@ def _pool_round(
                 key,
                 spec,
                 pool.submit(
-                    _supervised_worker, spec, len(attempts[key]), plan
+                    _supervised_worker, spec, len(attempts[key]), plan,
+                    True, checkpoint_interval,
                 ),
             )
             for key, spec in pending
@@ -516,6 +711,7 @@ def _pool_round(
             deadline = case_deadline(spec, timeout_override)
             try:
                 payload = future.result(timeout=deadline)
+                case_resumed = _pop_resumed(payload)
                 result = validate_payload(payload, spec)
             except (FutureTimeout, TimeoutError):
                 future.cancel()
@@ -557,6 +753,14 @@ def _pool_round(
                 retry.append((key, spec))
             else:
                 TELEMETRY.record_simulation(spec.label(), result)
+                if case_resumed is not None:
+                    # The worker's telemetry died with the worker; the
+                    # parent re-records the resume, like the simulation.
+                    TELEMETRY.record_resume(case_resumed)
+                    outcome.resumes += 1
+                    outcome.resumed_instructions += case_resumed
+                    if resumed is not None:
+                        resumed[key] = case_resumed
                 _publish(outcome, key, spec, result, use_cache)
     except KeyboardInterrupt:
         # Ctrl-C: cancel everything still queued and reap the pool so no
@@ -575,11 +779,13 @@ def _serial_round(
     outcome: SupervisionOutcome,
     timeout_override: float | None,
     use_cache: bool,
+    checkpoint_interval: int | None = None,
+    resumed: dict[str, int] | None = None,
 ) -> list[tuple[str, CaseSpec]]:
     """One in-process pass over ``pending``; returns the retry list.
 
-    ``execute_spec`` records telemetry in-process, so unlike the pool
-    path nothing is re-recorded here.
+    ``execute_spec_checkpointed`` records telemetry in-process, so
+    unlike the pool path nothing is re-recorded here.
     """
     retry: list[tuple[str, CaseSpec]] = []
     for key, spec in pending:
@@ -589,10 +795,12 @@ def _serial_round(
         try:
             payload = _call_with_deadline(
                 lambda s=spec, a=attempt_no: _supervised_worker(
-                    s, a, plan, in_pool=False
+                    s, a, plan, in_pool=False,
+                    checkpoint_interval=checkpoint_interval,
                 ),
                 deadline,
             )
+            case_resumed = _pop_resumed(payload)
             result = validate_payload(payload, spec)
         except (FutureTimeout, TimeoutError):
             outcome.timeouts += 1
@@ -623,6 +831,11 @@ def _serial_round(
             )
             retry.append((key, spec))
         else:
+            if case_resumed is not None:
+                outcome.resumes += 1
+                outcome.resumed_instructions += case_resumed
+                if resumed is not None:
+                    resumed[key] = case_resumed
             _publish(outcome, key, spec, result, use_cache)
     return retry
 
@@ -636,12 +849,20 @@ def run_supervised(
     case_timeout: float | None = None,
     max_attempts: int | None = None,
     retry_backoff: float | None = None,
+    checkpoint_interval: int | None = None,
 ) -> SupervisionOutcome:
     """Resolve ``(key, spec)`` cases under supervision.
 
     Returns a :class:`SupervisionOutcome` with one result or one
     persisted :class:`FailureReport` per input key — never an exception
     for an individual case failure (``KeyboardInterrupt`` excepted).
+
+    With checkpointing active (``checkpoint_interval=`` argument, else
+    ``$REPRO_CHECKPOINT_INTERVAL``), a retried case resumes from the
+    newest valid checkpoint its dead predecessor left behind instead of
+    starting over; checkpoints are cleared once the case's result is
+    published, and a case given up on records its preserved progress in
+    its :class:`FailureReport`.
     """
     plan = get_fault_plan()
     if max_attempts is None:
@@ -650,9 +871,12 @@ def run_supervised(
         raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
     timeout_override = resolve_case_timeout(case_timeout)
     backoff = DEFAULT_BACKOFF if retry_backoff is None else retry_backoff
+    if checkpoint_interval is None:
+        checkpoint_interval = ckpt.checkpoint_interval_default()
 
     outcome = SupervisionOutcome()
     attempts: dict[str, list[Attempt]] = {key: [] for key, _ in items}
+    resumed: dict[str, int] = {}
     pending = list(items)
     pool_breaks = 0
     prefer_serial = jobs <= 1 or len(items) == 1
@@ -667,12 +891,14 @@ def run_supervised(
             retry = _serial_round(
                 pending, plan=plan, attempts=attempts, outcome=outcome,
                 timeout_override=timeout_override, use_cache=use_cache,
+                checkpoint_interval=checkpoint_interval, resumed=resumed,
             )
         else:
             retry, broke = _pool_round(
                 pending, jobs=jobs, mp_start_method=mp_start_method,
                 plan=plan, attempts=attempts, outcome=outcome,
                 timeout_override=timeout_override, use_cache=use_cache,
+                checkpoint_interval=checkpoint_interval, resumed=resumed,
             )
             if broke:
                 pool_breaks += 1
@@ -687,6 +913,9 @@ def run_supervised(
                     classification=attempts[key][-1].classification,
                     attempts=list(attempts[key]),
                     spec=spec.fingerprint(),
+                    # How far checkpoints provably got this case: the last
+                    # observed resume, else the newest surviving file.
+                    resumed_from=resumed.get(key, ckpt.newest_progress(key)),
                 )
                 outcome.failures[key] = report
                 save_failure(report)

@@ -129,6 +129,42 @@ class Cache:
         are excluded — the engine advances them arithmetically."""
         return tuple(tuple(s.items()) for s in self._sets)
 
+    def snapshot(self) -> dict:
+        """Picklable full state: tags + dirty bits in LRU order per set,
+        the occupancy count, and every statistics counter."""
+        return {
+            "sets": [list(s.items()) for s in self._sets],
+            "occupancy": self._occupancy,
+            "stats": {
+                "accesses": self.stats.accesses,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "dirty_evictions": self.stats.dirty_evictions,
+                "prefetch_fills": self.stats.prefetch_fills,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot`.
+
+        Mutates the existing set dicts and ``stats`` object in place —
+        the replay engine holds live references to ``stats`` — and
+        rebuilds each set's dict in saved order so LRU behaviour (and
+        thus every later eviction) is bitwise reproduced.
+        """
+        for cache_set, saved in zip(self._sets, state["sets"]):
+            cache_set.clear()
+            cache_set.update(saved)
+        self._occupancy = state["occupancy"]
+        stats = state["stats"]
+        self.stats.accesses = stats["accesses"]
+        self.stats.hits = stats["hits"]
+        self.stats.misses = stats["misses"]
+        self.stats.evictions = stats["evictions"]
+        self.stats.dirty_evictions = stats["dirty_evictions"]
+        self.stats.prefetch_fills = stats["prefetch_fills"]
+
     def mark_dirty(self, line: int) -> None:
         """Set the dirty bit if the line is present."""
         cache_set = self._set_for(line)

@@ -47,6 +47,22 @@ class Tlb:
         counters are excluded (delta-advanced)."""
         return tuple(self._entries)
 
+    def snapshot(self) -> dict:
+        """Picklable full state (entries in LRU order + counters)."""
+        return {
+            "entries": list(self._entries),
+            "accesses": self.accesses,
+            "misses": self.misses,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot`; rebuilds LRU order in place."""
+        self._entries.clear()
+        for page in state["entries"]:
+            self._entries[page] = None
+        self.accesses = state["accesses"]
+        self.misses = state["misses"]
+
     @property
     def miss_rate(self) -> float:
         if self.accesses == 0:

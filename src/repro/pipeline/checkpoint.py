@@ -1,0 +1,314 @@
+"""Crash-safe checkpoint files for a running :class:`CoreSimulator`.
+
+A checkpoint is one file::
+
+    REPRO-CKPT\n
+    {json header}\n
+    <pickle payload bytes>
+
+The header carries the checkpoint schema version, the SHA-256 of the raw
+payload bytes, the payload length, and a small metadata dict (committed
+instruction count, cycle, workload/config names).  Readers verify magic,
+schema, length and checksum before unpickling anything, so a torn or
+bit-flipped file is always detected as :class:`CheckpointError` — never
+silently resumed into wrong data.
+
+Writes are atomic: payload lands in a same-directory temp file which is
+fsynced and then ``os.replace``d over the final name (the same discipline
+as ``DiskCache.put``), so a crash mid-write leaves either the old
+checkpoint or none, never a partial one.
+
+Checkpoints live under ``results/.checkpoints/<case-key>/`` (override with
+``REPRO_CHECKPOINT_DIR``), one subdirectory per case, one file per
+snapshot named ``ckpt_<committed-instructions>.rck``.  Recovery walks the
+ladder newest -> older -> fresh start, unlinking any checkpoint whose
+checksum fails on the way down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "ENV_CHECKPOINT_DIR",
+    "ENV_CHECKPOINT_INTERVAL",
+    "checkpoint_dir_for",
+    "checkpoint_interval_default",
+    "checkpoint_root",
+    "clear_checkpoints",
+    "latest_valid_checkpoint",
+    "list_case_checkpoints",
+    "list_checkpoints",
+    "load_checkpoint",
+    "newest_progress",
+    "save_checkpoint",
+]
+
+#: Bump whenever the snapshot payload layout changes; older files are
+#: rejected (and evicted by the recovery ladder) instead of misread.
+CHECKPOINT_SCHEMA = 1
+
+#: First line of every checkpoint file.
+MAGIC = b"REPRO-CKPT\n"
+
+#: Snapshot cadence in committed instructions.  Unset/empty/0 = off.
+ENV_CHECKPOINT_INTERVAL = "REPRO_CHECKPOINT_INTERVAL"
+
+#: Override the checkpoint store root (default results/.checkpoints/).
+ENV_CHECKPOINT_DIR = "REPRO_CHECKPOINT_DIR"
+
+_FILE_PREFIX = "ckpt_"
+_FILE_SUFFIX = ".rck"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, torn, corrupt, or incompatible."""
+
+
+def checkpoint_interval_default() -> int | None:
+    """Resolve ``REPRO_CHECKPOINT_INTERVAL`` (inherited by pool workers).
+
+    Returns ``None`` when checkpointing is off — the default.  A
+    malformed value raises :class:`CheckpointError` naming the variable
+    and the offending text, so a typo'd environment surfaces at case
+    start instead of as a silent no-checkpoint run.
+    """
+    raw = os.environ.get(ENV_CHECKPOINT_INTERVAL, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise CheckpointError(
+            f"{ENV_CHECKPOINT_INTERVAL} must be an integer number of "
+            f"committed instructions, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+
+# ---------------------------------------------------------------------------
+# File format
+
+
+def save_checkpoint(path: Path, payload: bytes, meta: dict) -> None:
+    """Atomically write ``payload`` (+ checksummed header) to ``path``."""
+    header = {
+        "schema": CHECKPOINT_SCHEMA,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+        "meta": meta,
+    }
+    blob = (
+        MAGIC
+        + json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        + b"\n"
+        + payload
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def load_checkpoint(path: Path) -> tuple[bytes, dict]:
+    """Read and verify a checkpoint; returns ``(payload, meta)``.
+
+    Raises :class:`CheckpointError` on any defect (missing file, bad
+    magic, unparseable or wrong-schema header, truncated payload,
+    checksum mismatch).  Never unpickles unverified bytes.
+    """
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+    if not blob.startswith(MAGIC):
+        raise CheckpointError(f"{path} is not a checkpoint (bad magic)")
+    newline = blob.find(b"\n", len(MAGIC))
+    if newline < 0:
+        raise CheckpointError(f"{path} is truncated (no header line)")
+    try:
+        header = json.loads(blob[len(MAGIC):newline].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"{path} has a corrupt header: {exc}")
+    if not isinstance(header, dict):
+        raise CheckpointError(f"{path} has a corrupt header (not an object)")
+    schema = header.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"{path} has checkpoint schema {schema!r}, expected "
+            f"{CHECKPOINT_SCHEMA}"
+        )
+    payload = blob[newline + 1:]
+    expected_len = header.get("payload_bytes")
+    if expected_len != len(payload):
+        raise CheckpointError(
+            f"{path} is truncated: header promises {expected_len} payload "
+            f"bytes, file holds {len(payload)}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("sha256"):
+        raise CheckpointError(
+            f"{path} fails its SHA-256 payload checksum (corrupt)"
+        )
+    meta = header.get("meta")
+    return payload, meta if isinstance(meta, dict) else {}
+
+
+# ---------------------------------------------------------------------------
+# Per-case checkpoint store
+
+
+def checkpoint_root() -> Path:
+    """Directory holding per-case checkpoint subdirectories."""
+    env = os.environ.get(ENV_CHECKPOINT_DIR)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results" / ".checkpoints"
+
+
+def checkpoint_dir_for(key: str) -> Path:
+    """Subdirectory holding one case's checkpoints (not created here)."""
+    return checkpoint_root() / key
+
+
+def checkpoint_path(key: str, committed_instrs: int) -> Path:
+    """Canonical file name for a snapshot at ``committed_instrs``."""
+    return checkpoint_dir_for(key) / (
+        f"{_FILE_PREFIX}{committed_instrs:012d}{_FILE_SUFFIX}"
+    )
+
+
+def _progress_of(path: Path) -> int | None:
+    name = path.name
+    if not (name.startswith(_FILE_PREFIX) and name.endswith(_FILE_SUFFIX)):
+        return None
+    digits = name[len(_FILE_PREFIX):-len(_FILE_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_case_checkpoints(key: str) -> list[Path]:
+    """One case's checkpoint files, oldest (least progress) first."""
+    directory = checkpoint_dir_for(key)
+    if not directory.is_dir():
+        return []
+    found = [
+        (progress, path)
+        for path in directory.iterdir()
+        if (progress := _progress_of(path)) is not None
+    ]
+    found.sort()
+    return [path for _, path in found]
+
+
+def newest_progress(key: str) -> int | None:
+    """Committed-instruction count of the newest on-disk checkpoint.
+
+    Filename-derived only (no verification) — used for reporting how far
+    a crashed case had provably gotten, not for resuming.
+    """
+    paths = list_case_checkpoints(key)
+    return _progress_of(paths[-1]) if paths else None
+
+
+def latest_valid_checkpoint(key: str) -> tuple[Path, bytes, dict] | None:
+    """Newest checkpoint for ``key`` that passes verification.
+
+    The recovery ladder: try the newest file; if it is corrupt or
+    truncated, unlink it and fall back to the next-newest; with none
+    left, return ``None`` (fresh start).  Corruption is never an error
+    here — only a rung down the ladder.
+    """
+    for path in reversed(list_case_checkpoints(key)):
+        try:
+            payload, meta = load_checkpoint(path)
+        except CheckpointError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+            continue
+        return path, payload, meta
+    return None
+
+
+def clear_checkpoints(key: str | None = None) -> int:
+    """Delete checkpoints (one case's, or all); returns files removed.
+
+    Leftover temp files are swept too, so an interrupted writer never
+    accumulates garbage.
+    """
+    removed = 0
+    if key is not None:
+        roots = [checkpoint_dir_for(key)]
+    else:
+        root = checkpoint_root()
+        roots = [p for p in root.iterdir() if p.is_dir()] if root.is_dir() \
+            else []
+    for directory in roots:
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            is_ckpt = _progress_of(path) is not None
+            is_tmp = f"{_FILE_SUFFIX}.tmp" in path.name
+            if not (is_ckpt or is_tmp):
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                continue
+            if is_ckpt:
+                removed += 1
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+    return removed
+
+
+def list_checkpoints() -> list[dict]:
+    """Summaries for ``repro checkpoints list``: one row per case."""
+    root = checkpoint_root()
+    if not root.is_dir():
+        return []
+    rows: list[dict] = []
+    for directory in sorted(p for p in root.iterdir() if p.is_dir()):
+        paths = list_case_checkpoints(directory.name)
+        if not paths:
+            continue
+        newest = paths[-1]
+        meta: dict = {}
+        try:
+            _, meta = load_checkpoint(newest)
+        except CheckpointError:
+            pass
+        rows.append(
+            {
+                "key": directory.name,
+                "checkpoints": len(paths),
+                "newest_instrs": _progress_of(newest) or 0,
+                "case": meta.get("case", "?"),
+                "bytes": sum(p.stat().st_size for p in paths),
+                "age_seconds": max(
+                    0.0, time.time() - newest.stat().st_mtime
+                ),
+            }
+        )
+    return rows

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import math
 import os
+import pickle
 import time
 from collections import deque
+from pathlib import Path
 
 from repro.branch.predictors import make_predictor
 from repro.config.cores import CoreConfig
@@ -100,6 +102,13 @@ _UNSCHED_SIG = ("unsched",)
 #: the producer scan are deferred until something actually reads it.
 _PENDING = object()
 
+#: Serialized stand-in for the :data:`_PENDING` sentinel in a checkpoint
+#: payload.  The sentinel is compared by identity, so it cannot survive a
+#: pickle round trip; snapshot/restore swap it for this token and back.
+#: (Resolving it instead would mutate the ``_nonready`` queues, diverging
+#: from the uninterrupted run.)
+_PENDING_TOKEN = "__repro_pending__"
+
 
 class CoreSimulator:
     """Simulates one program on one core configuration."""
@@ -124,6 +133,7 @@ class CoreSimulator:
         self.program = program
         self.config = config
         self.mode = mode
+        self._seed = seed
         self.hierarchy = MemoryHierarchy(
             config.memory,
             perfect_icache=config.perfect_icache,
@@ -298,12 +308,30 @@ class CoreSimulator:
 
     # -- top-level driver --------------------------------------------------------
 
-    def run(self, max_cycles: int | None = None) -> SimResult:
-        """Simulate to completion and return the result."""
+    def run(
+        self,
+        max_cycles: int | None = None,
+        *,
+        checkpoint_interval: int | None = None,
+        checkpoint_key: str | None = None,
+        on_checkpoint=None,
+    ) -> SimResult:
+        """Simulate to completion and return the result.
+
+        With ``checkpoint_interval`` set, a crash-safe snapshot is taken
+        every that many committed instructions (see
+        :mod:`repro.pipeline.checkpoint`); the plain hot loop is used
+        otherwise, so checkpointing costs nothing when off.
+        """
         if max_cycles is None:
             max_cycles = _MAX_CYCLES_PER_UOP * max(
                 self.program.uop_count, 1
             ) + 100_000
+        if checkpoint_interval:
+            return self._run_checkpointed(
+                max_cycles, checkpoint_interval, checkpoint_key,
+                on_checkpoint,
+            )
         start = time.perf_counter()
         step = self._step_event if self._event else self._step
         # _finished inlined, cheapest-reject first: on almost every cycle
@@ -328,6 +356,64 @@ class CoreSimulator:
                     f"simulation exceeded {max_cycles} cycles "
                     f"(likely a scheduling deadlock) for {self.program.name}"
                 )
+        return self._finalize(start)
+
+    def _run_checkpointed(
+        self,
+        max_cycles: int,
+        interval: int,
+        key: str | None,
+        on_checkpoint,
+    ) -> SimResult:
+        """The run loop with periodic crash-safe snapshots.
+
+        A checkpoint is due every ``interval`` committed instructions; a
+        replay/fast-forward jump can cross several due points at once, in
+        which case one snapshot is taken and the next due point moves
+        past the current progress.  ``on_checkpoint(path, instrs)`` fires
+        after each snapshot (``path`` is None when ``key`` is — tests use
+        the hook to interrupt; the supervisor's fault injection uses it
+        to die deterministically mid-case).
+        """
+        from repro.pipeline import checkpoint as _ckpt
+
+        start = time.perf_counter()
+        step = self._step_event if self._event else self._step
+        frontend = self.frontend
+        rob = self.rob
+        queue = self.uop_queue
+        next_due = (self.committed_instrs // interval + 1) * interval
+        while (
+            rob
+            or queue
+            or self.unsched_remaining != 0
+            or frontend.waiting_sync is not None
+            or frontend.wrong_path
+            or frontend._idx < frontend._count
+            or frontend._decoded_idx < frontend._decoded_len
+        ):
+            step()
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(likely a scheduling deadlock) for {self.program.name}"
+                )
+            if self.committed_instrs >= next_due:
+                next_due = (
+                    self.committed_instrs // interval + 1
+                ) * interval
+                path = None
+                if key is not None:
+                    path = _ckpt.checkpoint_path(key, self.committed_instrs)
+                    _ckpt.save_checkpoint(
+                        path, self.snapshot(), self.checkpoint_meta()
+                    )
+                if on_checkpoint is not None:
+                    on_checkpoint(path, self.committed_instrs)
+        return self._finalize(start)
+
+    def _finalize(self, start: float) -> SimResult:
+        """Flush pending accounting and build the :class:`SimResult`."""
         self._flush_batch()
         wall = time.perf_counter() - start
         measured_cycles = self.cycle - self._measure_cycle0
@@ -362,6 +448,204 @@ class CoreSimulator:
             and not self.uop_queue
             and self.unsched_remaining == 0
         )
+
+    # -- checkpoint / resume -----------------------------------------------------
+
+    def checkpoint_meta(self) -> dict:
+        """Human-readable header metadata for a checkpoint file."""
+        return {
+            "case": self.program.name,
+            "config": self.config.name,
+            "committed_instrs": self.committed_instrs,
+            "committed_uops": self.committed_uops,
+            "cycle": self.cycle,
+        }
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete simulation state into one pickle blob.
+
+        Everything lands in a *single* ``pickle.dumps`` call so the pickle
+        memo preserves object identity: an :class:`InflightUop` reachable
+        from the ROB, a scheduler deque, ``last_writer`` and a dependence
+        edge is stored once and restored as one shared object, exactly
+        like the live pipeline.  Only taken between cycles (never
+        mid-``_step``), so per-cycle scratch (``self._obs``, the FU pool's
+        free-slot counters, the uop free list — a fresh record is
+        field-identical to a recycled one) is deliberately excluded.
+
+        The :data:`_PENDING` sentinel is identity-compared and cannot
+        survive pickling; it is tokenized here and re-interned by
+        :meth:`_restore_state`.  It must *not* be resolved instead:
+        :meth:`_resolve_issue_obs` pops from the ``_nonready`` deques,
+        which would diverge from the uninterrupted run.
+        """
+        obs_cache = tuple(
+            _PENDING_TOKEN if value is _PENDING else value
+            for value in self._issue_obs_cache
+        )
+        bat_sig = self._bat_sig
+        state = {
+            "rob": self.rob,
+            "rs": self.rs,
+            "uop_queue": self.uop_queue,
+            "last_writer": self.last_writer,
+            "pending_stores": self.pending_stores,
+            "completions": self.completions,
+            "sq_count": self.sq_count,
+            "cycle": self.cycle,
+            "committed_uops": self.committed_uops,
+            "committed_instrs": self.committed_instrs,
+            "unsched_remaining": self.unsched_remaining,
+            "warmed": self._warmed,
+            "measure_cycle0": self._measure_cycle0,
+            "measure_uops0": self._measure_uops0,
+            "rs_dirty": self._rs_dirty,
+            "rs_quiet": self._rs_quiet,
+            "has_correct_waiting": self._has_correct_waiting,
+            "issue_obs_cache": obs_cache,
+            "ready": self._ready,
+            "nonready": self._nonready,
+            "nonready_vfp": self._nonready_vfp,
+            "rs_count": self._rs_count,
+            "rs_correct": self._rs_correct,
+            "rs_vfp": self._rs_vfp,
+            "parked": self._parked,
+            "ff_windows": self.ff_windows,
+            "ff_cycles_skipped": self.ff_cycles_skipped,
+            "bat_sig": bat_sig,
+            "bat_k": self._bat_k,
+            "bat_cur": self._bat_cur,
+            "bat_spare": self._bat_spare,
+            "replay_windows": self.replay_windows,
+            "replay_cycles_skipped": self.replay_cycles_skipped,
+            "replay_rec": self._replay_rec,
+            "collector": self.collector,
+            "replay": (
+                self._replay.snapshot() if self._replay is not None else None
+            ),
+            "hierarchy": self.hierarchy.snapshot(),
+            "predictor": self.predictor.snapshot(),
+            "frontend": self.frontend.snapshot(),
+            "fu": self.fu.snapshot(),
+        }
+        return pickle.dumps(
+            {
+                "program": self.program,
+                "config": self.config,
+                "kwargs": {
+                    "mode": self.mode,
+                    "accounting": self._accounting,
+                    "seed": self._seed,
+                    "warmup_instructions": self.warmup_instructions,
+                    "accounting_width": self._accounting_width,
+                    "topdown": self._topdown,
+                    "fast_forward": self._fast_forward,
+                    "legacy_issue_scan": self._legacy_scan,
+                    "replay": self._replay_enabled,
+                },
+                "state": state,
+            }
+        )
+
+    def _restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` on a freshly constructed simulator.
+
+        Components are mutated *in place* — the replay engine's shift
+        sites and the frontend hold live references to the hierarchy,
+        predictor, cache-statistics and counter objects built by
+        ``__init__``, so none of them may be replaced wholesale.
+        """
+        self.rob.clear()
+        self.rob.extend(state["rob"])
+        self.rs[:] = state["rs"]
+        self.uop_queue.clear()
+        self.uop_queue.extend(state["uop_queue"])
+        self.last_writer[:] = state["last_writer"]
+        self.pending_stores.clear()
+        self.pending_stores.update(state["pending_stores"])
+        self.completions.clear()
+        self.completions.update(state["completions"])
+        self.sq_count = state["sq_count"]
+        self.cycle = state["cycle"]
+        self.committed_uops = state["committed_uops"]
+        self.committed_instrs = state["committed_instrs"]
+        self.unsched_remaining = state["unsched_remaining"]
+        self._warmed = state["warmed"]
+        self._measure_cycle0 = state["measure_cycle0"]
+        self._measure_uops0 = state["measure_uops0"]
+        self._rs_dirty = state["rs_dirty"]
+        self._rs_quiet = state["rs_quiet"]
+        self._has_correct_waiting = state["has_correct_waiting"]
+        # Re-intern the module-level _PENDING sentinel (identity-compared
+        # by _resolve_issue_obs); InflightUop/bool/None values compare
+        # unequal to the token string, so the test is exact.
+        self._issue_obs_cache = tuple(
+            _PENDING if value == _PENDING_TOKEN else value
+            for value in state["issue_obs_cache"]
+        )
+        self._ready[:] = state["ready"]
+        self._nonready.clear()
+        self._nonready.extend(state["nonready"])
+        self._nonready_vfp.clear()
+        self._nonready_vfp.extend(state["nonready_vfp"])
+        self._rs_count = state["rs_count"]
+        self._rs_correct = state["rs_correct"]
+        self._rs_vfp = state["rs_vfp"]
+        self._parked = state["parked"]
+        self.ff_windows = state["ff_windows"]
+        self.ff_cycles_skipped = state["ff_cycles_skipped"]
+        # Re-intern the _UNSCHED_SIG sentinel (identity-compared in the
+        # fused step); no accountant signature equals it — ordinary
+        # signatures are longer observation-field tuples.
+        bat_sig = state["bat_sig"]
+        if bat_sig == _UNSCHED_SIG:
+            bat_sig = _UNSCHED_SIG
+        self._bat_sig = bat_sig
+        self._bat_k = state["bat_k"]
+        # The buffers themselves may be swapped wholesale: they are read
+        # at call time only and note_cycle always copies, so nothing
+        # retains a reference to the constructor-built pair.
+        self._bat_cur = state["bat_cur"]
+        self._bat_spare = state["bat_spare"]
+        self.replay_windows = state["replay_windows"]
+        self.replay_cycles_skipped = state["replay_cycles_skipped"]
+        self._replay_rec = state["replay_rec"]
+        self.collector = state["collector"]
+        if (state["replay"] is None) != (self._replay is None):
+            raise RuntimeError(
+                "checkpoint replay-engine state does not match this "
+                "simulator's configuration (incompatible checkpoint)"
+            )
+        if self._replay is not None:
+            self._replay.restore(state["replay"])
+        self.hierarchy.restore(state["hierarchy"])
+        self.predictor.restore(state["predictor"])
+        self.frontend.restore(state["frontend"])
+        self.fu.restore(state["fu"])
+
+    @classmethod
+    def from_snapshot(cls, payload: bytes) -> "CoreSimulator":
+        """Rebuild a mid-run simulator from a :meth:`snapshot` blob."""
+        data = pickle.loads(payload)
+        sim = cls(data["program"], data["config"], **data["kwargs"])
+        sim._restore_state(data["state"])
+        return sim
+
+    @classmethod
+    def resume(cls, path: str | Path) -> "CoreSimulator":
+        """Rebuild a simulator from a checkpoint *file*.
+
+        Verifies the checksum before unpickling (see
+        :func:`repro.pipeline.checkpoint.load_checkpoint`) and raises
+        :class:`repro.pipeline.checkpoint.CheckpointError` on any defect.
+        Continuing the returned simulator with :meth:`run` produces
+        results bitwise identical to the uninterrupted run (modulo
+        ``wall_seconds``).
+        """
+        from repro.pipeline.checkpoint import load_checkpoint
+
+        payload, _meta = load_checkpoint(path)
+        return cls.from_snapshot(payload)
 
     # -- one cycle ---------------------------------------------------------------
 

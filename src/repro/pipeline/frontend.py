@@ -232,6 +232,68 @@ class Frontend:
             self._rng.getstate(),
         )
 
+    def snapshot(self) -> dict:
+        """Picklable full state for the checkpoint engine.
+
+        Everything mutable goes in: trace/decode position, stall state,
+        wrong-path machinery (including the RNG via ``getstate``), sync
+        barrier, and the delivery counters.  The in-flight uop references
+        (``resolving_branch``, ``waiting_sync``) are stored as live
+        objects — the simulator pickles its whole state in one pass, so
+        the memo keeps them identical to the ROB/scheduler entries.
+        The ``_decode_cache``/``_wp_uop_cache`` memos are deliberately
+        excluded: they are rebuilt on demand and carry no behaviour
+        (``_decoded`` itself is saved, so a mid-expansion cursor
+        resumes on the exact same rows).
+        """
+        return {
+            "idx": self._idx,
+            "decoded": self._decoded,
+            "decoded_idx": self._decoded_idx,
+            "decoded_len": self._decoded_len,
+            "pending_instr": self._pending_instr,
+            "seq": self.seq,
+            "block": self.block,
+            "stall_until": self._stall_until,
+            "stall_reason": self._stall_reason,
+            "last_reason": self._last_reason,
+            "last_line": self._last_line,
+            "wrong_path": self.wrong_path,
+            "resolving_branch": self.resolving_branch,
+            "wp_prev_dst": self._wp_prev_dst,
+            "wp_counter": self._wp_counter,
+            "wp_data_addr": self._wp_data_addr,
+            "rng": self._rng.getstate(),
+            "waiting_sync": self.waiting_sync,
+            "delivered": self.delivered,
+            "delivered_wrong": self.delivered_wrong,
+            "icache_stall_cycles": self.icache_stall_cycles,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot`; mutates this frontend in place."""
+        self._idx = state["idx"]
+        self._decoded = state["decoded"]
+        self._decoded_idx = state["decoded_idx"]
+        self._decoded_len = state["decoded_len"]
+        self._pending_instr = state["pending_instr"]
+        self.seq = state["seq"]
+        self.block = state["block"]
+        self._stall_until = state["stall_until"]
+        self._stall_reason = state["stall_reason"]
+        self._last_reason = state["last_reason"]
+        self._last_line = state["last_line"]
+        self.wrong_path = state["wrong_path"]
+        self.resolving_branch = state["resolving_branch"]
+        self._wp_prev_dst = state["wp_prev_dst"]
+        self._wp_counter = state["wp_counter"]
+        self._wp_data_addr = state["wp_data_addr"]
+        self._rng.setstate(state["rng"])
+        self.waiting_sync = state["waiting_sync"]
+        self.delivered = state["delivered"]
+        self.delivered_wrong = state["delivered_wrong"]
+        self.icache_stall_cycles = state["icache_stall_cycles"]
+
     def shift(
         self, cycle: int, cycles: int, instrs: int, seqs: int, blocks: int
     ) -> None:

@@ -48,6 +48,24 @@ def _isolated_failures_dir(tmp_path_factory):
         os.environ["REPRO_FAILURES_DIR"] = previous
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_checkpoint_dir(tmp_path_factory):
+    """Point the crash-recovery checkpoint store at a temp dir.
+
+    Checkpoint tests kill simulations mid-flight and corrupt snapshot
+    files on purpose; the real ``results/.checkpoints`` must stay
+    untouched.  Environment-based so pool workers inherit the location.
+    """
+    checkpoints = tmp_path_factory.mktemp("repro-checkpoints")
+    previous = os.environ.get("REPRO_CHECKPOINT_DIR")
+    os.environ["REPRO_CHECKPOINT_DIR"] = str(checkpoints)
+    yield checkpoints
+    if previous is None:
+        os.environ.pop("REPRO_CHECKPOINT_DIR", None)
+    else:
+        os.environ["REPRO_CHECKPOINT_DIR"] = previous
+
+
 @pytest.fixture
 def tiny():
     """A small core configuration that exposes stalls with short traces."""

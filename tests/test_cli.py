@@ -21,6 +21,8 @@ def test_parser_subcommands():
         ["profile", "mcf", "--config", "knl"],
         ["failures", "list"],
         ["failures", "clear"],
+        ["checkpoints", "list"],
+        ["checkpoints", "clear"],
     ):
         args = parser.parse_args(argv)
         assert callable(args.func)
@@ -217,4 +219,46 @@ def test_no_fast_forward_flag_sets_env(capsys):
         os.environ.pop(ENV_FAST_FORWARD, None)
         if previous is not None:
             os.environ[ENV_FAST_FORWARD] = previous
+    capsys.readouterr()
+
+
+def test_checkpoints_commands(capsys):
+    from repro.pipeline import checkpoint as ckpt
+
+    ckpt.clear_checkpoints()
+    capsys.readouterr()
+    assert main(["checkpoints", "list"]) == 0
+    assert "no checkpoints" in capsys.readouterr().out
+    ckpt.save_checkpoint(
+        ckpt.checkpoint_path("feed" * 16, 1200),
+        b"payload",
+        {"case": "mcf", "config": "bdw", "committed_instrs": 1200},
+    )
+    assert main(["checkpoints", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "1200" in out
+    assert main(["checkpoints", "clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert ckpt.list_checkpoints() == []
+
+
+def test_checkpoint_interval_flag_sets_env(capsys, monkeypatch):
+    import os
+
+    from repro.experiments.runner import clear_cache
+    from repro.pipeline.checkpoint import (
+        ENV_CHECKPOINT_INTERVAL,
+        checkpoint_interval_default,
+    )
+
+    monkeypatch.setenv(ENV_CHECKPOINT_INTERVAL, "")
+    clear_cache()
+    code = main(["fig5", "--jobs", "1", "--instructions", "1500",
+                 "--checkpoint-interval", "400"])
+    assert code == 0
+    assert os.environ.get(ENV_CHECKPOINT_INTERVAL) == "400", (
+        "workers must inherit the cadence via the environment"
+    )
+    assert checkpoint_interval_default() == 400
+    clear_cache()
     capsys.readouterr()
