@@ -1,0 +1,153 @@
+"""Fused multi-accountant execution: the wall-clock win, with floors.
+
+The fusion engine runs every case that shares one timing — same trace,
+machine, wrong-path mode, warmup and seeds, different accounting
+configuration — as a single pipeline pass with all collectors attached.
+This bench times the two batch shapes fusion was built for and pins the
+speedups as committed floors:
+
+* the **comparison batch** (topdown vs. multi-stage stacks vs. a
+  no-accounting timing reference for each workload, three cases per
+  timing) must run at least ``2x`` faster fused than unfused;
+* the **Fig. 2 matrix** (baseline + idealized timings, each wanting both
+  the multi-stage and the topdown stacks, two cases per timing) must run
+  at least ``1.5x`` faster fused.
+
+Timing is plain ``time.perf_counter`` over full ``run_cases`` batches
+(min of several repeats, fused and unfused interleaved round-robin so a
+host-load spike hits both) — no pytest-benchmark fixture — so the CI
+perf-smoke job can run this file standalone.  Results land in
+``results/BENCH_fusion.json``; the committed copy documents the measured
+ratios the floors were derived from.  Both floors are same-run ratios —
+host-independent, enforced without slack.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.config.idealize import PERFECT_BPRED, PERFECT_DCACHE
+from repro.experiments import runner
+from repro.experiments.cache import TELEMETRY, CaseSpec
+from repro.experiments.parallel import run_cases
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_fusion.json"
+
+#: Same-run fused/unfused wall-clock floors (host-independent, no slack).
+COMPARISON_FLOOR = 2.0
+FIG2_FLOOR = 1.5
+
+#: Repeats per batch shape; the minimum wall time per arm is reported.
+REPEATS = 3
+
+N = 5_000
+
+#: The comparison batch: for every workload, the multi-stage stacks, the
+#: topdown stacks, and a no-accounting timing reference — one timing,
+#: three accounting configurations.
+COMPARISON_WORKLOADS = ("mcf", "chase", "exchange2")
+
+#: The Fig. 2-shaped matrix: baseline + idealized timings per workload,
+#: each timing wanted with both the multi-stage and the topdown stacks.
+FIG2_WORKLOADS = ("mcf", "exchange2")
+FIG2_IDEALIZATIONS = (None, PERFECT_DCACHE, PERFECT_BPRED)
+
+
+def comparison_specs() -> list[CaseSpec]:
+    specs: list[CaseSpec] = []
+    for workload in COMPARISON_WORKLOADS:
+        base = dict(workload=workload, preset="bdw", instructions=N)
+        specs.append(CaseSpec(**base))
+        specs.append(CaseSpec(**base, topdown=True))
+        specs.append(CaseSpec(**base, accounting=False))
+    return specs
+
+
+def fig2_specs() -> list[CaseSpec]:
+    specs: list[CaseSpec] = []
+    for workload in FIG2_WORKLOADS:
+        for ideal in FIG2_IDEALIZATIONS:
+            base = dict(
+                workload=workload, preset="bdw", instructions=N,
+                idealization=ideal,
+            )
+            specs.append(CaseSpec(**base))
+            specs.append(CaseSpec(**base, topdown=True))
+    return specs
+
+
+def _time_batch(specs: list[CaseSpec]) -> dict:
+    """Best-of-``REPEATS`` wall time for the fused and unfused arms.
+
+    ``use_cache=False`` keeps every rep honest (no memo/disk hits), and
+    the traces are materialized once up front so trace generation rides
+    on neither arm.
+    """
+    for spec in specs:
+        runner.get_trace(spec.workload, spec.instructions, spec.seed)
+    best: dict[bool, float] = {}
+    sims: dict[bool, int] = {}
+    for _ in range(REPEATS):
+        for fuse in (False, True):
+            before = TELEMETRY.sim_invocations
+            start = time.perf_counter()
+            run_cases(specs, jobs=1, use_cache=False, fuse=fuse)
+            wall = time.perf_counter() - start
+            sims[fuse] = TELEMETRY.sim_invocations - before
+            if fuse not in best or wall < best[fuse]:
+                best[fuse] = wall
+    speedup = best[False] / best[True] if best[True] > 0 else None
+    return {
+        "cases": len(specs),
+        "unfused_runs": sims[False],
+        "fused_runs": sims[True],
+        "unfused_wall_seconds": round(best[False], 4),
+        "fused_wall_seconds": round(best[True], 4),
+        "speedup": round(speedup, 2),
+    }
+
+
+def test_fusion_speedup(reporter):
+    batches = {
+        "comparison": (comparison_specs(), COMPARISON_FLOOR),
+        "fig2_matrix": (fig2_specs(), FIG2_FLOOR),
+    }
+    payload: dict = {
+        "bench": "fusion",
+        "repeats": REPEATS,
+        "instructions": N,
+        "floors": {"comparison": COMPARISON_FLOOR, "fig2_matrix": FIG2_FLOOR},
+        "batches": {},
+    }
+    for name, (specs, floor) in batches.items():
+        cell = _time_batch(specs)
+        payload["batches"][name] = cell
+        reporter.emit(
+            f"{name:12s}: {cell['cases']} cases as "
+            f"{cell['fused_runs']} fused runs "
+            f"(vs {cell['unfused_runs']} unfused): "
+            f"unfused={cell['unfused_wall_seconds']:.3f}s "
+            f"fused={cell['fused_wall_seconds']:.3f}s "
+            f"speedup={cell['speedup']}x (floor {floor}x)"
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    reporter.emit(f"wrote {BASELINE_PATH.relative_to(RESULTS_DIR.parent)}")
+
+    comparison = payload["batches"]["comparison"]
+    fig2 = payload["batches"]["fig2_matrix"]
+    # Fusion must actually have fused: one pipeline run per timing.
+    assert comparison["fused_runs"] == len(COMPARISON_WORKLOADS)
+    assert fig2["fused_runs"] == len(FIG2_WORKLOADS) * len(FIG2_IDEALIZATIONS)
+    assert comparison["speedup"] >= COMPARISON_FLOOR, (
+        f"comparison batch fused speedup {comparison['speedup']}x "
+        f"is below the {COMPARISON_FLOOR}x floor"
+    )
+    assert fig2["speedup"] >= FIG2_FLOOR, (
+        f"fig2 matrix fused speedup {fig2['speedup']}x "
+        f"is below the {FIG2_FLOOR}x floor"
+    )

@@ -7,14 +7,16 @@ i.e. the per-cycle accounting work is O(1) like the paper's.
 """
 
 from repro.experiments.overhead import measure_overhead
+from repro.experiments.runner import get_trace
 
 from benchmarks.conftest import run_once
 
 
 def test_accounting_overhead(benchmark, reporter):
+    trace = get_trace("mcf", 8000, 1)  # materialize once, outside the reps
     result = run_once(
         benchmark,
-        lambda: measure_overhead("mcf", "bdw", instructions=8000),
+        lambda: measure_overhead("mcf", "bdw", instructions=8000, trace=trace),
     )
     reporter.emit(
         "Multi-stage CPI + FLOPS accounting overhead (mcf on BDW, "

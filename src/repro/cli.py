@@ -16,15 +16,18 @@ Subcommands::
     repro checkpoints list | clear               # mid-simulation snapshots
 
 Experiment subcommands accept ``--jobs`` (default: ``$REPRO_JOBS`` or the
-CPU count) and print a one-line harness summary — cases scheduled, cache
-hits, wall time and simulated uops/sec — after their output.  They also
-accept the supervision flags ``--case-timeout`` (per-case deadline in
-seconds; default scales with each case's instruction count),
-``--keep-going`` (finish the batch despite failed cases and report them
-instead of aborting), ``--no-strict`` (downgrade accounting invariant
-violations from errors to warnings) and ``--checkpoint-interval`` (take a
-crash-safe snapshot every N committed instructions so retried cases
-resume instead of restarting).
+CPU count; ``auto`` = CPU count minus one) and print a one-line harness
+summary — cases scheduled, cache hits, fused groups, wall time and
+simulated uops/sec — after their output.  They also accept the
+supervision flags ``--case-timeout`` (per-case deadline in seconds;
+default scales with each case's instruction count), ``--keep-going``
+(finish the batch despite failed cases and report them instead of
+aborting), ``--no-strict`` (downgrade accounting invariant violations
+from errors to warnings), ``--checkpoint-interval`` (take a crash-safe
+snapshot every N committed instructions so retried cases resume instead
+of restarting) and ``--no-fuse`` (run every case as its own simulation
+instead of fusing cases that share a timing; fused and unfused results
+are bitwise identical).
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from repro.experiments.error import figure2_errors, summarize_errors
 from repro.experiments.idealization import FIG3_CASES, fig3_case, table1_rows
 from repro.experiments.flops_study import figure5_case
 from repro.experiments.overhead import measure_overhead
+from repro.experiments import parallel
 from repro.experiments.parallel import summarize_since, telemetry_mark
 from repro.experiments.runner import clear_cache, run_case
 from repro.experiments.cache import get_disk_cache
@@ -338,11 +342,31 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_arg(text: str) -> "int | str":
+    """``--jobs`` value: a worker count or the literal ``auto``."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+
+
 def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every batch-scheduling experiment subcommand."""
     parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: $REPRO_JOBS or the CPU count)",
+        "--jobs", type=_jobs_arg, default=None,
+        help="worker processes, or 'auto' for CPU count minus one "
+             "(default: $REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--no-fuse", action="store_true", dest="no_fuse",
+        help="disable fused multi-accountant execution: run every case "
+             "as its own simulation even when several differ only in "
+             "accounting configuration (results are bitwise identical "
+             "either way; the fused path is the fast default)",
     )
     parser.add_argument(
         "--case-timeout", type=float, default=None, dest="case_timeout",
@@ -606,6 +630,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.environ[pipeline_core.ENV_FAST_FORWARD] = "0"
     if getattr(args, "no_replay", False):
         os.environ[pipeline_core.ENV_REPLAY] = "0"
+    if getattr(args, "no_fuse", False):
+        # run_cases reads $REPRO_FUSE per batch; the env var also reaches
+        # pool workers, matching the other harness toggles.
+        os.environ[parallel.ENV_FUSE] = "0"
     interval = getattr(args, "checkpoint_interval", None)
     if interval is not None:
         # Env-var plumbing so pool workers (fork or spawn) inherit the

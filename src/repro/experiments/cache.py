@@ -36,6 +36,7 @@ from repro.config.cores import CoreConfig
 from repro.core import invariants
 from repro.config.idealize import Idealization
 from repro.config.presets import get_preset
+from repro.core.multistage import CollectorSpec
 from repro.core.wrongpath import WrongPathMode
 from repro.pipeline.result import ACCOUNTING_SCHEMA_VERSION, SimResult
 
@@ -75,6 +76,12 @@ class CaseSpec:
     mode: WrongPathMode = WrongPathMode.EXACT
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION
     sim_seed: int | None = None
+    #: Accounting configuration — deliberately *excluded* from the timing
+    #: key: collectors are observational, so cases differing only here
+    #: share one pipeline run under fused execution.
+    accounting: bool = True
+    topdown: bool = False
+    accounting_width: int | None = None
 
     def __post_init__(self) -> None:
         if (self.preset is None) == (self.config is None):
@@ -96,8 +103,21 @@ class CaseSpec:
             config = self.idealization.apply(config)
         return config
 
-    def fingerprint(self) -> dict:
-        """Canonical JSON-able identity of this case (hashed into the key)."""
+    def collector_spec(self) -> CollectorSpec:
+        """The collector this case wants attached to its timing run."""
+        return CollectorSpec(
+            accounting=self.accounting,
+            topdown=self.topdown,
+            accounting_width=self.accounting_width,
+        )
+
+    def timing_fingerprint(self) -> dict:
+        """Canonical identity of the *timing* this case needs: trace,
+        machine config, wrong-path mode, warmup and seeds — everything
+        except the accounting configuration.  Cases sharing this
+        fingerprint are provably served by one pipeline run (collectors
+        are observational), which is what fused execution exploits.
+        """
         return {
             "schema": ACCOUNTING_SCHEMA_VERSION,
             "workload": self.workload,
@@ -114,6 +134,30 @@ class CaseSpec:
             "config": self.resolved_config().fingerprint(),
         }
 
+    def timing_key(self) -> str:
+        """SHA-256 content address of :meth:`timing_fingerprint`."""
+        text = json.dumps(
+            self.timing_fingerprint(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def fingerprint(self) -> dict:
+        """Canonical JSON-able identity of this case (hashed into the key).
+
+        Accounting fields are included only when they differ from the
+        historical defaults, so every pre-existing cache key (default
+        multi-stage accounting) is byte-identical to what it always was —
+        fused execution never invalidates a warm cache.
+        """
+        fp = self.timing_fingerprint()
+        if not self.accounting:
+            fp["accounting"] = False
+        if self.topdown:
+            fp["topdown"] = True
+        if self.accounting_width is not None:
+            fp["accounting_width"] = self.accounting_width
+        return fp
+
     def key(self) -> str:
         """Content address: SHA-256 of the canonical fingerprint."""
         text = json.dumps(
@@ -125,7 +169,69 @@ class CaseSpec:
         """Short human-readable tag for telemetry and logs."""
         machine = self.preset or self.resolved_config().name
         ideal = f"+{self.idealization.name}" if self.idealization else ""
-        return f"{self.workload}@{machine}{ideal}"
+        acct = ""
+        if not self.accounting:
+            acct = "#noacc"
+        elif self.topdown:
+            acct = "#td"
+        return f"{self.workload}@{machine}{ideal}{acct}"
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """Several cases sharing one timing, executed as one pipeline run.
+
+    Built by the scheduler when fusion is on: every member has the same
+    :meth:`CaseSpec.timing_key` and differs only in accounting
+    configuration.  The group duck-types the parts of the ``CaseSpec``
+    surface the supervisor consumes (key/label/fingerprint/instructions/
+    workload), so supervised retries, deadlines and failure reports work
+    on groups unchanged; each member's result is still published under
+    the member's own cache key.
+    """
+
+    specs: tuple[CaseSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.specs) < 2:
+            raise ValueError("a FusedGroup needs at least two members")
+        timing_keys = {spec.timing_key() for spec in self.specs}
+        if len(timing_keys) != 1:
+            raise ValueError(
+                "FusedGroup members must share one timing key, "
+                f"got {len(timing_keys)} distinct timings"
+            )
+
+    @property
+    def workload(self) -> str:
+        return self.specs[0].workload
+
+    @property
+    def instructions(self) -> int | None:
+        return self.specs[0].instructions
+
+    def key(self) -> str:
+        """Content address of the group (checkpoints live under this).
+
+        Derived from the sorted member keys: any change to the membership
+        or to any member's identity moves the group key, so a checkpoint
+        can never be resumed by a differently-composed group.
+        """
+        text = "\n".join(sorted(spec.key() for spec in self.specs))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def timing_key(self) -> str:
+        return self.specs[0].timing_key()
+
+    def label(self) -> str:
+        first = self.specs[0].label()
+        return f"{first} (+{len(self.specs) - 1} fused)"
+
+    def fingerprint(self) -> dict:
+        return {
+            "fused": [spec.fingerprint() for spec in self.specs],
+            "timing": self.specs[0].timing_fingerprint(),
+        }
 
 
 @dataclass
@@ -149,6 +255,11 @@ class HarnessTelemetry:
     #: the total committed instructions those snapshots preserved.
     resume_events: int = 0
     resumed_instructions: int = 0
+    #: Fused execution: timing groups run as one pipeline pass, and how
+    #: many whole simulations that fusion avoided (members minus one per
+    #: group).
+    fused_groups: int = 0
+    fused_runs_saved: int = 0
     #: (case label, simulated wall seconds) per simulation, newest last.
     case_seconds: list[tuple[str, float]] = field(default_factory=list)
 
@@ -162,6 +273,8 @@ class HarnessTelemetry:
         self.sim_seconds = 0.0
         self.resume_events = 0
         self.resumed_instructions = 0
+        self.fused_groups = 0
+        self.fused_runs_saved = 0
         self.case_seconds.clear()
 
     def record_simulation(self, label: str, result: SimResult) -> None:
@@ -175,6 +288,12 @@ class HarnessTelemetry:
         self.resume_events += 1
         self.resumed_instructions += committed_instrs
 
+    def record_fusion(self, groups: int, runs_saved: int) -> None:
+        """A batch fused ``groups`` timing groups, avoiding this many
+        whole simulations."""
+        self.fused_groups += groups
+        self.fused_runs_saved += runs_saved
+
     def counters(self) -> dict[str, float]:
         return {
             "sim_invocations": self.sim_invocations,
@@ -186,6 +305,8 @@ class HarnessTelemetry:
             "sim_seconds": self.sim_seconds,
             "resume_events": self.resume_events,
             "resumed_instructions": self.resumed_instructions,
+            "fused_groups": self.fused_groups,
+            "fused_runs_saved": self.fused_runs_saved,
         }
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.config.presets import get_preset
 from repro.experiments.runner import get_trace
+from repro.isa.instructions import Program
 from repro.pipeline.core import simulate
 
 
@@ -45,9 +46,16 @@ def measure_overhead(
     instructions: int = 10_000,
     repeats: int = 3,
     seed: int = 1,
+    trace: Program | None = None,
 ) -> OverheadResult:
-    """Best-of-N wall time with and without accounting enabled."""
-    trace = get_trace(workload, instructions, seed)
+    """Best-of-N wall time with and without accounting enabled.
+
+    Pass ``trace=`` to time a pre-materialized program: trace generation
+    then stays outside every timing rep instead of riding on the first
+    one (the memo makes later reps free either way).
+    """
+    if trace is None:
+        trace = get_trace(workload, instructions, seed)
     config = get_preset(preset)
     best: dict[bool, float] = {}
     cycles = 0

@@ -42,34 +42,52 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.experiments import runner, supervisor
-from repro.experiments.cache import TELEMETRY, CaseSpec
+from repro.experiments.cache import TELEMETRY, CaseSpec, FusedGroup
 from repro.experiments.supervisor import BatchFailure, FailureReport
 from repro.pipeline.result import SimResult
 
 #: Environment variable overriding the default worker count.
 ENV_JOBS = "REPRO_JOBS"
 
+#: Environment escape hatch for fused multi-accountant execution.  Set to
+#: "0" (or pass ``--no-fuse`` / ``fuse=False``) to run every case as its
+#: own simulation — the differential baseline fusion is verified against.
+ENV_FUSE = "REPRO_FUSE"
 
-def resolve_jobs(jobs: int | None = None) -> int:
+
+def fuse_default() -> bool:
+    """Fusion setting from the environment (on unless ``"0"``)."""
+    return os.environ.get(ENV_FUSE, "1") != "0"
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
     """Worker count: explicit argument, else ``$REPRO_JOBS``, else CPUs.
 
-    A zero or negative count is a configuration error and raises
-    ``ValueError`` — silently clamping it to 1 used to hide typos like
-    ``--jobs 0`` behind an unexpectedly serial run.
+    ``"auto"`` (CLI ``--jobs auto`` / ``REPRO_JOBS=auto``) resolves to
+    one less than the CPU count — a full batch that still leaves the
+    machine responsive — with a floor of 1.  A zero or negative count is
+    a configuration error and raises ``ValueError`` — silently clamping
+    it to 1 used to hide typos like ``--jobs 0`` behind an unexpectedly
+    serial run.
     """
     source = "jobs"
     if jobs is None:
         env = os.environ.get(ENV_JOBS)
         if env:
             source = ENV_JOBS
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"{ENV_JOBS} must be an integer, got {env!r}"
-                ) from None
+            jobs = env
     if jobs is None:
         return os.cpu_count() or 1
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return max(1, (os.cpu_count() or 1) - 1)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"{source} must be an integer or 'auto', got {jobs!r}"
+            ) from None
     if jobs < 1:
         raise ValueError(f"{source} must be a positive integer, got {jobs}")
     return jobs
@@ -99,6 +117,10 @@ class BatchStats:
     #: Checkpoint resumes (cases that continued instead of restarting).
     resumes: int = 0
     resumed_instructions: int = 0
+    #: Fused execution: timing groups run as one pipeline pass, and the
+    #: whole simulations that fusion avoided (members minus one per group).
+    fused_groups: int = 0
+    fused_runs_saved: int = 0
     #: Per-key report for every case given up on this batch.
     failure_reports: dict[str, FailureReport] = field(default_factory=dict)
 
@@ -118,6 +140,11 @@ class BatchStats:
             f"({rate / 1e3:.0f}k uops/s)"
         )
         extras = []
+        if self.fused_groups:
+            extras.append(
+                f"{self.fused_groups} fused groups "
+                f"({self.fused_runs_saved} runs saved)"
+            )
         if self.resumes:
             extras.append(
                 f"{self.resumes} resumed "
@@ -153,6 +180,7 @@ def run_cases(
     max_attempts: int | None = None,
     retry_backoff: float | None = None,
     checkpoint_interval: int | None = None,
+    fuse: bool | None = None,
 ) -> list[SimResult | None]:
     """Resolve a batch of case specs, in parallel where possible.
 
@@ -173,9 +201,21 @@ def run_cases(
     every that many committed instructions (else
     ``$REPRO_CHECKPOINT_INTERVAL``), letting retried cases resume
     instead of restarting.
+
+    **Fused execution** (``fuse``, default from ``$REPRO_FUSE``, on
+    unless ``"0"``): cache-missing specs sharing one *timing key* —
+    identical trace, machine config, wrong-path mode, warmup and seeds,
+    differing only in accounting configuration — are grouped into
+    :class:`~repro.experiments.cache.FusedGroup` items and executed as a
+    single pipeline run with every requested collector attached.  The
+    batch cost then scales with distinct timings rather than cases; each
+    member's result is bitwise identical to its unfused run and still
+    lands in the disk cache under its own key.
     """
     spec_list: Sequence[CaseSpec] = list(specs)
     jobs = resolve_jobs(jobs)
+    if fuse is None:
+        fuse = fuse_default()
     start = time.perf_counter()
     before = TELEMETRY.counters()
     sims_before = len(TELEMETRY.case_seconds)
@@ -193,10 +233,33 @@ def run_cases(
                 continue
         pending[key] = spec
 
+    # Fusion: group the cache misses by timing key; each multi-member
+    # group becomes one supervised item running all collectors at once.
+    items: list = list(pending.items())
+    fused_groups = 0
+    fused_runs_saved = 0
+    if fuse and len(pending) > 1:
+        by_timing: dict[str, list[tuple[str, CaseSpec]]] = {}
+        for key, spec in pending.items():
+            by_timing.setdefault(spec.timing_key(), []).append((key, spec))
+        items = []
+        for members in by_timing.values():
+            if len(members) == 1:
+                items.append(members[0])
+            else:
+                group = FusedGroup(
+                    specs=tuple(spec for _key, spec in members)
+                )
+                items.append((group.key(), group))
+                fused_groups += 1
+                fused_runs_saved += len(members) - 1
+        if fused_groups:
+            TELEMETRY.record_fusion(fused_groups, fused_runs_saved)
+
     outcome = supervisor.SupervisionOutcome()
     if pending:
         outcome = supervisor.run_supervised(
-            list(pending.items()),
+            items,
             jobs=jobs,
             mp_start_method=mp_start_method,
             use_cache=use_cache,
@@ -230,6 +293,8 @@ def run_cases(
         serial_fallback=outcome.serial_fallback,
         resumes=outcome.resumes,
         resumed_instructions=outcome.resumed_instructions,
+        fused_groups=fused_groups,
+        fused_runs_saved=fused_runs_saved,
         failure_reports=dict(outcome.failures),
     )
     global LAST_BATCH
@@ -264,6 +329,8 @@ def summarize_since(mark: tuple[float, dict[str, float]]) -> str:
     preserved = int(
         after["resumed_instructions"] - before["resumed_instructions"]
     )
+    fused = int(after["fused_groups"] - before["fused_groups"])
+    saved = int(after["fused_runs_saved"] - before["fused_runs_saved"])
     rate = uops / wall if wall > 0 else 0.0
     line = (
         f"[harness] {simulated + memo + disk} case lookups: "
@@ -271,6 +338,8 @@ def summarize_since(mark: tuple[float, dict[str, float]]) -> str:
         f"wall={wall:.2f}s sim={sim_seconds:.2f}s "
         f"({rate / 1e3:.0f}k uops/s)"
     )
+    if fused:
+        line += f" | {fused} fused groups ({saved} runs saved)"
     if resumes:
         line += (
             f" | {resumes} checkpoint resumes "

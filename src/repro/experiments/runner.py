@@ -24,6 +24,7 @@ from repro.experiments.cache import (
     DEFAULT_WARMUP_FRACTION,
     TELEMETRY,
     CaseSpec,
+    FusedGroup,
     get_disk_cache,
 )
 from repro.isa.instructions import Program
@@ -35,7 +36,9 @@ from repro.workloads.registry import get_workload
 __all__ = [
     "DEFAULT_WARMUP_FRACTION",
     "CaseSpec",
+    "FusedGroup",
     "clear_cache",
+    "execute_fused_checkpointed",
     "execute_spec",
     "execute_spec_checkpointed",
     "get_trace",
@@ -126,6 +129,7 @@ def execute_spec_checkpointed(
             mode=spec.mode,
             warmup_instructions=warmup,
             seed=spec.simulate_seed,
+            collectors=(spec.collector_spec(),),
         )
     result = sim.run(
         checkpoint_interval=interval,
@@ -137,6 +141,63 @@ def execute_spec_checkpointed(
         TELEMETRY.record_resume(resumed_from)
     invariants.verify_result(result, context=spec.label())
     return result, resumed_from
+
+
+def execute_fused_checkpointed(
+    group: FusedGroup,
+    interval: int | None,
+    on_checkpoint=None,
+) -> tuple[list[SimResult], int | None]:
+    """Simulate one fused timing group: one pipeline run, every member's
+    collector attached, one :class:`SimResult` per member (group order).
+
+    Checkpoints live under the *group* key (derived from the sorted
+    member keys), and a snapshot carries every attached collector, so a
+    resumed fused run restores all members bitwise.  Telemetry counts the
+    group as a single simulator invocation — fusion's entire point is
+    that the batch cost scales with distinct timings, and
+    ``sim_invocations`` must reflect that.  Each member's result passes
+    the invariant guard independently under its own label.
+    """
+    first = group.specs[0]
+    trace = get_trace(first.workload, first.instructions, first.seed)
+    resumed_from: int | None = None
+    sim: CoreSimulator | None = None
+    key = group.key()
+    if interval:
+        found = ckpt.latest_valid_checkpoint(key)
+        if found is not None:
+            _path, payload, meta = found
+            sim = CoreSimulator.from_snapshot(payload)
+            resumed_from = int(meta.get("committed_instrs", 0))
+    if sim is None:
+        config = first.resolved_config()
+        warmup = int(len(trace) * first.warmup_fraction)
+        sim = CoreSimulator(
+            trace,
+            config,
+            mode=first.mode,
+            warmup_instructions=warmup,
+            seed=first.simulate_seed,
+            collectors=tuple(spec.collector_spec() for spec in group.specs),
+        )
+    sim.run(
+        checkpoint_interval=interval,
+        checkpoint_key=key if interval else None,
+        on_checkpoint=on_checkpoint,
+    )
+    results = list(sim.fused_results)
+    if len(results) != len(group.specs):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"fused run produced {len(results)} results for "
+            f"{len(group.specs)} members"
+        )
+    TELEMETRY.record_simulation(group.label(), results[0])
+    if resumed_from is not None:
+        TELEMETRY.record_resume(resumed_from)
+    for spec, result in zip(group.specs, results):
+        invariants.verify_result(result, context=spec.label())
+    return results, resumed_from
 
 
 def lookup_cached(key: str) -> SimResult | None:

@@ -52,9 +52,16 @@ from pathlib import Path
 
 from repro.core import invariants
 from repro.experiments import runner
-from repro.experiments.cache import TELEMETRY, CaseSpec
+from repro.experiments.cache import TELEMETRY, CaseSpec, FusedGroup
 from repro.pipeline import checkpoint as ckpt
 from repro.pipeline.result import SimResult
+
+#: One supervised unit of work: a single case or a fused timing group.
+#: Groups duck-type the CaseSpec surface the supervisor reads (key/label/
+#: fingerprint/instructions/workload), so deadlines, retries and fault
+#: matching treat them uniformly; only payload validation and publishing
+#: fan back out to the members.
+CaseItem = "CaseSpec | FusedGroup"
 
 #: Environment variable: one deadline (seconds) for every case.
 ENV_CASE_TIMEOUT = "REPRO_CASE_TIMEOUT"
@@ -409,15 +416,27 @@ def get_fault_plan() -> dict | None:
     return _validate_plan(plan, ENV_FAULT_PLAN)
 
 
-def _fault_for(plan: dict | None, spec: CaseSpec, attempt: int) -> dict | None:
-    """The fault entry that applies to this (case, attempt), if any."""
+def _fault_for(plan: dict | None, spec, attempt: int) -> dict | None:
+    """The fault entry that applies to this (case, attempt), if any.
+
+    A fused group matches through its own label/key *or* through any
+    member's, so a plan targeting ``mcf@tiny`` still fires when that case
+    rides inside a fused run.
+    """
     if not plan:
         return None
-    label = spec.label()
-    key = spec.key()
+    if isinstance(spec, FusedGroup):
+        labels = {spec.label()}
+        labels.update(member.label() for member in spec.specs)
+        keys = [spec.key()]
+        keys.extend(member.key() for member in spec.specs)
+    else:
+        labels = {spec.label()}
+        keys = [spec.key()]
     for matcher, fault in plan.items():
-        if matcher == "*" or matcher == label or (
-            len(matcher) >= 8 and key.startswith(matcher)
+        if matcher == "*" or matcher in labels or (
+            len(matcher) >= 8
+            and any(key.startswith(matcher) for key in keys)
         ):
             if attempt < int(fault.get("times", 1)):
                 return fault
@@ -425,10 +444,19 @@ def _fault_for(plan: dict | None, spec: CaseSpec, attempt: int) -> dict | None:
 
 
 def _corrupt_payload(payload: dict, style: str):
-    """Damage a result payload the way a buggy worker or transport would."""
+    """Damage a result payload the way a buggy worker or transport would.
+
+    A fused payload is damaged in its first member — one bad member must
+    poison the whole group (the group retries as a unit).
+    """
     if style == "garbage":
         return b"\x00not a result payload\x00"
     damaged = dict(payload)
+    if "fused" in damaged:
+        members = [dict(m) for m in damaged["fused"]]
+        members[0] = _corrupt_payload(members[0], style)
+        damaged["fused"] = members
+        return damaged
     if style == "schema":
         damaged["schema"] = -999
     else:  # "cycles": breaks every stack-total identity
@@ -467,7 +495,7 @@ def _truncate_newest_checkpoint(key: str) -> None:
 
 
 def _supervised_worker(
-    spec: CaseSpec,
+    spec,
     attempt: int,
     plan: dict | None,
     in_pool: bool = True,
@@ -480,7 +508,9 @@ def _supervised_worker(
     result as a ``to_dict`` payload either way, so both paths exercise
     the same schema-versioned round trip; a resumed run notes its
     starting progress under the ``"_resumed_from"`` key, which the
-    parent pops before schema validation.
+    parent pops before schema validation.  A :class:`FusedGroup` runs as
+    one fused simulation and ships ``{"fused": [payload, ...]}`` with one
+    member payload per spec, in group order.
     """
     fault = _fault_for(plan, spec, attempt)
     on_checkpoint = None
@@ -510,10 +540,16 @@ def _supervised_worker(
                     )
         else:
             _trigger_fault(fault, in_pool=in_pool)
-    result, resumed = runner.execute_spec_checkpointed(
-        spec, checkpoint_interval, on_checkpoint
-    )
-    payload = result.to_dict()
+    if isinstance(spec, FusedGroup):
+        results, resumed = runner.execute_fused_checkpointed(
+            spec, checkpoint_interval, on_checkpoint
+        )
+        payload: dict = {"fused": [r.to_dict() for r in results]}
+    else:
+        result, resumed = runner.execute_spec_checkpointed(
+            spec, checkpoint_interval, on_checkpoint
+        )
+        payload = result.to_dict()
     if resumed is not None:
         payload["_resumed_from"] = resumed
     if fault is not None and fault.get("kind") == "corrupt":
@@ -553,8 +589,14 @@ def resolve_case_timeout(explicit: float | None = None) -> float | None:
     return None
 
 
-def case_deadline(spec: CaseSpec, override: float | None = None) -> float:
-    """Seconds this case may run: override, else scaled from its size."""
+def case_deadline(spec, override: float | None = None) -> float:
+    """Seconds this case may run: override, else scaled from its size.
+
+    A fused group gets the same scaled deadline as any of its members:
+    every member shares one timing, and the attached collectors cost
+    O(1) per cycle, so the group's wall clock is one member's — that is
+    the entire point of fusion.
+    """
     if override is not None:
         return override
     instructions = spec.instructions
@@ -619,6 +661,42 @@ def validate_payload(payload, spec: CaseSpec) -> SimResult:
     return result
 
 
+def validate_group_payload(
+    payload, group: FusedGroup
+) -> list[SimResult]:
+    """Decode and guard a fused-run payload: one result per member.
+
+    Every member result is decoded and invariant-checked independently
+    under its own label — one broken collector's stack fails the whole
+    group (it retries as a unit), exactly as a lone bad case would fail
+    itself.
+    """
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("fused"), list
+    ):
+        raise CorruptPayload(
+            f"worker returned {type(payload).__name__}, not a fused "
+            "result payload"
+        )
+    members = payload["fused"]
+    if len(members) != len(group.specs):
+        raise CorruptPayload(
+            f"fused payload has {len(members)} member results for "
+            f"{len(group.specs)} specs"
+        )
+    return [
+        validate_payload(member, spec)
+        for spec, member in zip(group.specs, members)
+    ]
+
+
+def _validate(payload, spec):
+    """Route a payload to case or group validation by the item's type."""
+    if isinstance(spec, FusedGroup):
+        return validate_group_payload(payload, spec)
+    return validate_payload(payload, spec)
+
+
 def _format_error(exc: BaseException) -> str:
     """Compact traceback text for a failure record."""
     lines = traceback.format_exception_only(type(exc), exc)
@@ -648,10 +726,26 @@ def _record(
 def _publish(
     outcome: SupervisionOutcome,
     key: str,
-    spec: CaseSpec,
-    result: SimResult,
+    spec,
+    result,
     use_cache: bool,
 ) -> None:
+    """Publish a validated result (or, for a group, every member's).
+
+    A fused group's members each land in the cache and the outcome under
+    their *own* case key — a fused batch populates exactly the same cache
+    entries an unfused one would.  The group's checkpoints (stored under
+    the group key) are cleared only after every member is published.
+    """
+    if isinstance(spec, FusedGroup):
+        for member, member_result in zip(spec.specs, result):
+            member_key = member.key()
+            if use_cache:
+                runner.store_result(member_key, member, member_result)
+            outcome.results[member_key] = member_result
+            discard_failure(member_key)
+        ckpt.clear_checkpoints(key)
+        return
     if use_cache:
         runner.store_result(key, spec, result)
     outcome.results[key] = result
@@ -672,7 +766,7 @@ def _pop_resumed(payload) -> int | None:
 
 
 def _pool_round(
-    pending: list[tuple[str, CaseSpec]],
+    pending: list,
     *,
     jobs: int,
     mp_start_method: str | None,
@@ -691,7 +785,7 @@ def _pool_round(
     pool = ProcessPoolExecutor(
         max_workers=min(jobs, len(pending)), mp_context=context
     )
-    retry: list[tuple[str, CaseSpec]] = []
+    retry: list = []
     broke = False
     try:
         submitted = [
@@ -712,7 +806,7 @@ def _pool_round(
             try:
                 payload = future.result(timeout=deadline)
                 case_resumed = _pop_resumed(payload)
-                result = validate_payload(payload, spec)
+                result = _validate(payload, spec)
             except (FutureTimeout, TimeoutError):
                 future.cancel()
                 outcome.timeouts += 1
@@ -752,7 +846,13 @@ def _pool_round(
                 )
                 retry.append((key, spec))
             else:
-                TELEMETRY.record_simulation(spec.label(), result)
+                # One record per actual pipeline run: a fused group is a
+                # single simulator invocation however many members ride
+                # along (the workers' telemetry died with the workers).
+                TELEMETRY.record_simulation(
+                    spec.label(),
+                    result[0] if isinstance(spec, FusedGroup) else result,
+                )
                 if case_resumed is not None:
                     # The worker's telemetry died with the worker; the
                     # parent re-records the resume, like the simulation.
@@ -772,7 +872,7 @@ def _pool_round(
 
 
 def _serial_round(
-    pending: list[tuple[str, CaseSpec]],
+    pending: list,
     *,
     plan: dict | None,
     attempts: dict[str, list[Attempt]],
@@ -787,7 +887,7 @@ def _serial_round(
     ``execute_spec_checkpointed`` records telemetry in-process, so
     unlike the pool path nothing is re-recorded here.
     """
-    retry: list[tuple[str, CaseSpec]] = []
+    retry: list = []
     for key, spec in pending:
         started = time.perf_counter()
         deadline = case_deadline(spec, timeout_override)
@@ -801,7 +901,7 @@ def _serial_round(
                 deadline,
             )
             case_resumed = _pop_resumed(payload)
-            result = validate_payload(payload, spec)
+            result = _validate(payload, spec)
         except (FutureTimeout, TimeoutError):
             outcome.timeouts += 1
             _record(
@@ -841,7 +941,7 @@ def _serial_round(
 
 
 def run_supervised(
-    items: list[tuple[str, CaseSpec]],
+    items: list,
     *,
     jobs: int,
     mp_start_method: str | None = None,
@@ -856,6 +956,12 @@ def run_supervised(
     Returns a :class:`SupervisionOutcome` with one result or one
     persisted :class:`FailureReport` per input key — never an exception
     for an individual case failure (``KeyboardInterrupt`` excepted).
+
+    An item's spec may be a :class:`FusedGroup`: the group is attempted,
+    timed out and retried as one unit under its group key, but its
+    members' results are published under their own case keys, and a
+    given-up group persists one failure report per member (each member's
+    key is what a later targeted rerun would look up).
 
     With checkpointing active (``checkpoint_interval=`` argument, else
     ``$REPRO_CHECKPOINT_INTERVAL``), a retried case resumes from the
@@ -904,21 +1010,27 @@ def run_supervised(
                 pool_breaks += 1
                 if pool_breaks < POOL_BREAK_LIMIT:
                     outcome.pool_rebuilds += 1
-        next_pending: list[tuple[str, CaseSpec]] = []
+        next_pending: list = []
         for key, spec in retry:
             if len(attempts[key]) >= max_attempts:
-                report = FailureReport(
-                    key=key,
-                    label=spec.label(),
-                    classification=attempts[key][-1].classification,
-                    attempts=list(attempts[key]),
-                    spec=spec.fingerprint(),
-                    # How far checkpoints provably got this case: the last
-                    # observed resume, else the newest surviving file.
-                    resumed_from=resumed.get(key, ckpt.newest_progress(key)),
+                # How far checkpoints provably got this case: the last
+                # observed resume, else the newest surviving file.
+                progress = resumed.get(key, ckpt.newest_progress(key))
+                members = (
+                    spec.specs if isinstance(spec, FusedGroup) else (spec,)
                 )
-                outcome.failures[key] = report
-                save_failure(report)
+                for member in members:
+                    member_key = member.key() if member is not spec else key
+                    report = FailureReport(
+                        key=member_key,
+                        label=member.label(),
+                        classification=attempts[key][-1].classification,
+                        attempts=list(attempts[key]),
+                        spec=member.fingerprint(),
+                        resumed_from=progress,
+                    )
+                    outcome.failures[member_key] = report
+                    save_failure(report)
             else:
                 next_pending.append((key, spec))
                 outcome.retries += 1

@@ -52,7 +52,9 @@ __all__ = [
 
 #: Bump whenever the snapshot payload layout changes; older files are
 #: rejected (and evicted by the recovery ladder) instead of misread.
-CHECKPOINT_SCHEMA = 1
+#: 2: multi-collector snapshots — kwargs carry the collector-spec tuple
+#: and the state holds one collector slot per spec.
+CHECKPOINT_SCHEMA = 2
 
 #: First line of every checkpoint file.
 MAGIC = b"REPRO-CKPT\n"

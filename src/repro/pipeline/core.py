@@ -20,7 +20,11 @@ from pathlib import Path
 from repro.branch.predictors import make_predictor
 from repro.config.cores import CoreConfig
 from repro.core.components import Component
-from repro.core.multistage import MultiStageCollector
+from repro.core.multistage import (
+    CollectorSpec,
+    FanoutCollector,
+    MultiStageCollector,
+)
 from repro.core.observation import CycleObservation
 from repro.core.wrongpath import WrongPathMode
 from repro.isa.instructions import Program
@@ -127,6 +131,7 @@ class CoreSimulator:
         fast_forward: bool | None = None,
         legacy_issue_scan: bool | None = None,
         replay: bool | None = None,
+        collectors: "tuple[CollectorSpec, ...] | list[CollectorSpec] | None" = None,
     ) -> None:
         if config.memory is None:
             raise ValueError("core configuration needs a memory hierarchy")
@@ -150,23 +155,53 @@ class CoreSimulator:
             program, config, self.hierarchy, self.predictor, seed=seed,
             pool=self._pool,
         )
-        #: W for the accounting algorithms; overridable to study the
-        #: Sec. III-A width-normalization choice (see the width ablation).
-        self._accounting_width = (
-            config.accounting_width
-            if accounting_width is None
-            else accounting_width
-        )
-        self._topdown = topdown
-        self.collector: MultiStageCollector | None = None
-        if accounting:
-            self.collector = MultiStageCollector(
-                self._accounting_width,
-                mode=mode,
-                vector_units=config.vector_units,
-                vector_lanes=config.vector_lanes,
-                topdown=topdown,
+        # The simulator drives a *list* of attached collectors.  The
+        # legacy accounting/topdown/accounting_width kwargs describe the
+        # historical single collector; ``collectors=`` attaches any
+        # combination (multi-stage, top-down, none) to one timing run —
+        # the fused-execution substrate.  Timing is observational either
+        # way: the attached set never changes a simulated cycle.
+        if collectors is None:
+            collectors = (
+                CollectorSpec(
+                    accounting=accounting,
+                    topdown=topdown,
+                    accounting_width=accounting_width,
+                ),
             )
+        elif not accounting or topdown or accounting_width is not None:
+            raise ValueError(
+                "pass either collectors= or the legacy accounting/topdown/"
+                "accounting_width arguments, not both"
+            )
+        specs = tuple(collectors)
+        if not specs:
+            raise ValueError("collectors= needs at least one CollectorSpec")
+        self._collector_specs = specs
+        #: W for the accounting algorithms; per collector, overridable to
+        #: study the Sec. III-A width-normalization choice (width ablation).
+        widths = {
+            (
+                s.accounting_width
+                if s.accounting_width is not None
+                else config.accounting_width
+            )
+            for s in specs
+            if s.accounting
+        }
+        self._accounting = bool(widths)
+        self._topdown = any(s.topdown for s in specs if s.accounting)
+        self._accounting_width = (
+            next(iter(widths))
+            if len(widths) == 1
+            else config.accounting_width
+        )
+        self._uniform_width = len(widths) <= 1
+        self.collectors: list[MultiStageCollector | None] = []
+        self.collector: MultiStageCollector | FanoutCollector | None = None
+        self._build_collectors()
+        #: One SimResult per attached collector, filled by ``_finalize``.
+        self.fused_results: list[SimResult] = []
         self.fu = FunctionalUnitPool(config)
         #: uclass -> execution latency, precomputed (latency_of's
         #: membership test + dict lookup sat on the issue fast path).
@@ -192,7 +227,6 @@ class CoreSimulator:
         self._warmed = warmup_instructions == 0
         self._measure_cycle0 = 0
         self._measure_uops0 = 0
-        self._accounting = accounting
         # Issue quiescence: when a select/scan issues nothing and no event
         # (wakeup, dispatch, squash, store commit, unpipelined-unit release)
         # has changed scheduler state since, the result is identical —
@@ -248,7 +282,7 @@ class CoreSimulator:
         # One observation object reused across cycles (per-cycle
         # allocation dominated short-stall profiles); accountants never
         # retain a reference.
-        self._obs = CycleObservation() if accounting else None
+        self._obs = CycleObservation() if self._accounting else None
         # Config scalars hoisted for the fused event-mode step.
         self._commit_width = config.commit_width
         self._dispatch_width = config.dispatch_width
@@ -257,22 +291,33 @@ class CoreSimulator:
         self._sq_size = config.store_queue_size
         self._uq_size = config.uop_queue_size
         self._machine_lanes = config.vector_lanes
-        # Signature-batched accounting (event mode, EXACT, no top-down):
-        # consecutive cycles whose accountant-visible observation fields
-        # are identical accumulate into one observe_repeat call.  The
-        # signature covers exactly the fields the dispatch/issue/commit/
-        # flops accountants read in EXACT mode (wrong-path counts are
-        # unread there); SPECULATIVE interleaves per-block events with
-        # observes and SIMPLE reads wrong counts, so both observe every
-        # cycle, as does top-down.  Retained observations use
-        # _UopSnapshot copies so later pipeline activity (or pool
-        # recycling) cannot mutate a batched cycle's blamed micro-ops.
+        # Signature-batched accounting (event mode, EXACT): consecutive
+        # cycles whose accountant-visible observation fields are identical
+        # accumulate into one observe_repeat call.  The signature covers
+        # exactly the fields the dispatch/issue/commit/flops accountants
+        # read in EXACT mode (wrong-path counts are unread there);
+        # SPECULATIVE interleaves per-block events with observes and
+        # SIMPLE reads wrong counts, so both observe every cycle.  A
+        # top-down accountant additionally reads the wrong-path dispatch
+        # count every cycle and the nonready producer whenever the RS is
+        # non-empty and issue is under width, so with top-down attached
+        # the signature widens (``_sig_topdown``): n_dispatch_wrong joins
+        # the tuple and the producer pruning keeps only the clauses every
+        # attached reader agrees on (observe_repeat is k-observe-exact
+        # for the top-down accountant too, so batching stays bitwise).
+        # With several collectors attached, batching additionally
+        # requires one shared accounting width: the signature's
+        # head/producer pruning compares against a single W.  Retained
+        # observations use _UopSnapshot copies so later pipeline activity
+        # (or pool recycling) cannot mutate a batched cycle's blamed
+        # micro-ops.
         self._batch = (
-            accounting
+            self._accounting
             and self._event
             and mode is WrongPathMode.EXACT
-            and not topdown
+            and self._uniform_width
         )
+        self._sig_topdown = self._batch and self._topdown
         self._bat_sig: object = None
         self._bat_k = 0
         self._bat_cur = _ObsBuffer()
@@ -284,7 +329,7 @@ class CoreSimulator:
         # fields and they are resolved on first read.  Sound because the
         # inputs of the deferred walks only change through events that
         # set ``_rs_dirty`` and therefore force a new select first.
-        self._lazy_prod = self._batch or not accounting
+        self._lazy_prod = self._batch or not self._accounting
         # Periodic steady-state replay: record one loop iteration's worth
         # of accounting once the machine provably reaches a fixed point
         # (modulo a uniform shift), then skip whole periods at a time.
@@ -413,33 +458,47 @@ class CoreSimulator:
         return self._finalize(start)
 
     def _finalize(self, start: float) -> SimResult:
-        """Flush pending accounting and build the :class:`SimResult`."""
+        """Flush pending accounting and build one result per collector.
+
+        Every attached collector yields its own :class:`SimResult` in
+        :attr:`fused_results` (spec order); all members share the timing
+        fields — cycles, commit counts, memory/branch statistics — because
+        they observed the same single pipeline run.  The first member is
+        returned for the historical single-collector call sites.
+        """
         self._flush_batch()
         wall = time.perf_counter() - start
         measured_cycles = self.cycle - self._measure_cycle0
         measured_uops = self.committed_uops - self._measure_uops0
-        report = None
-        if self.collector is not None:
-            report = self.collector.finalize(
-                measured_cycles, measured_uops, name=self.program.name
+        self.fused_results = [
+            SimResult(
+                name=self.program.name,
+                config_name=self.config.name,
+                cycles=measured_cycles,
+                committed_uops=measured_uops,
+                committed_instrs=self.committed_instrs,
+                report=(
+                    collector.finalize(
+                        measured_cycles,
+                        measured_uops,
+                        name=self.program.name,
+                    )
+                    if collector is not None
+                    else None
+                ),
+                memory_stats=self.hierarchy.stats(),
+                branch_lookups=self.predictor.lookups,
+                branch_mispredicts=self.predictor.mispredicts,
+                wrong_path_uops=self.frontend.delivered_wrong,
+                wall_seconds=wall,
+                ff_windows=self.ff_windows,
+                ff_cycles_skipped=self.ff_cycles_skipped,
+                replay_windows=self.replay_windows,
+                replay_cycles_skipped=self.replay_cycles_skipped,
             )
-        return SimResult(
-            name=self.program.name,
-            config_name=self.config.name,
-            cycles=measured_cycles,
-            committed_uops=measured_uops,
-            committed_instrs=self.committed_instrs,
-            report=report,
-            memory_stats=self.hierarchy.stats(),
-            branch_lookups=self.predictor.lookups,
-            branch_mispredicts=self.predictor.mispredicts,
-            wrong_path_uops=self.frontend.delivered_wrong,
-            wall_seconds=wall,
-            ff_windows=self.ff_windows,
-            ff_cycles_skipped=self.ff_cycles_skipped,
-            replay_windows=self.replay_windows,
-            replay_cycles_skipped=self.replay_cycles_skipped,
-        )
+            for collector in self.collectors
+        ]
+        return self.fused_results[0]
 
     def _finished(self) -> bool:
         return (
@@ -519,7 +578,7 @@ class CoreSimulator:
             "replay_windows": self.replay_windows,
             "replay_cycles_skipped": self.replay_cycles_skipped,
             "replay_rec": self._replay_rec,
-            "collector": self.collector,
+            "collectors": self.collectors,
             "replay": (
                 self._replay.snapshot() if self._replay is not None else None
             ),
@@ -534,14 +593,14 @@ class CoreSimulator:
                 "config": self.config,
                 "kwargs": {
                     "mode": self.mode,
-                    "accounting": self._accounting,
                     "seed": self._seed,
                     "warmup_instructions": self.warmup_instructions,
-                    "accounting_width": self._accounting_width,
-                    "topdown": self._topdown,
                     "fast_forward": self._fast_forward,
                     "legacy_issue_scan": self._legacy_scan,
                     "replay": self._replay_enabled,
+                    # The full collector-spec tuple: restoring a fused
+                    # run must bring back *all* attached collectors.
+                    "collectors": self._collector_specs,
                 },
                 "state": state,
             }
@@ -610,7 +669,12 @@ class CoreSimulator:
         self.replay_windows = state["replay_windows"]
         self.replay_cycles_skipped = state["replay_cycles_skipped"]
         self._replay_rec = state["replay_rec"]
-        self.collector = state["collector"]
+        # The pickled collectors (one slot per spec, None for detached
+        # members) carry every accountant's mid-run counters; the hot-path
+        # view is rebuilt rather than pickled so single/fan-out wrapping
+        # stays an implementation detail of this class.
+        self.collectors = list(state["collectors"])
+        self._rewrap_collector()
         if (state["replay"] is None) != (self._replay is None):
             raise RuntimeError(
                 "checkpoint replay-engine state does not match this "
@@ -693,22 +757,56 @@ class CoreSimulator:
         if not self._warmed and self.committed_instrs >= self.warmup_instructions:
             self._end_warmup()
 
+    def _build_collectors(self) -> None:
+        """(Re)build every attached collector from its spec.
+
+        Called at construction and again at the warmup boundary, so all
+        attached collectors restart measurement together.
+        """
+        config = self.config
+        collectors: list[MultiStageCollector | None] = []
+        for spec in self._collector_specs:
+            if not spec.accounting:
+                collectors.append(None)
+                continue
+            width = (
+                spec.accounting_width
+                if spec.accounting_width is not None
+                else config.accounting_width
+            )
+            collectors.append(
+                MultiStageCollector(
+                    width,
+                    mode=self.mode,
+                    vector_units=config.vector_units,
+                    vector_lanes=config.vector_lanes,
+                    topdown=spec.topdown,
+                )
+            )
+        self.collectors = collectors
+        self._rewrap_collector()
+
+    def _rewrap_collector(self) -> None:
+        """Point ``self.collector`` at the hot-path view of the list:
+        ``None``, the lone real collector, or a fan-out wrapper."""
+        real = [c for c in self.collectors if c is not None]
+        if not real:
+            self.collector = None
+        elif len(real) == 1:
+            self.collector = real[0]
+        else:
+            self.collector = FanoutCollector(real)
+
     def _end_warmup(self) -> None:
         """Restart measurement with warm caches/TLBs/predictor state."""
         # The warmup-crossing cycle may sit in a pending batch; it belongs
-        # to the warmup collector, so flush before the swap.
+        # to the warmup collectors, so flush before the swap.
         self._flush_batch()
         self._warmed = True
         self._measure_cycle0 = self.cycle
         self._measure_uops0 = self.committed_uops
         if self._accounting:
-            self.collector = MultiStageCollector(
-                self._accounting_width,
-                mode=self.mode,
-                vector_units=self.config.vector_units,
-                vector_lanes=self.config.vector_lanes,
-                topdown=self._topdown,
-            )
+            self._build_collectors()
 
     # -- signature-batched accounting (event mode) --------------------------------
 
@@ -1301,8 +1399,16 @@ class CoreSimulator:
                         head.done, head.is_load, head.dcache_miss,
                         head.issued, head.multi_cycle,
                     )
-                if n_issue >= acc_w or rs_empty or structural:
-                    prod_sig: object = False  # issue never reaches prod()
+                # Producer pruning: the issue accountant never reaches
+                # prod() when issue is at width, the RS is empty, or the
+                # stall is structural; a top-down accountant still reads
+                # the producer under structural (its backend split only
+                # needs rs non-empty and issue under width), so with one
+                # attached only the first two clauses prune.
+                if n_issue >= acc_w or rs_empty or (
+                    structural and not self._sig_topdown
+                ):
+                    prod_sig: object = False  # no attached reader reaches it
                     first_producer = None
                 else:
                     if first_producer is _PENDING:
@@ -1333,6 +1439,10 @@ class CoreSimulator:
                     non_fma_loss, masked, queue_empty, window_full,
                     rob_empty, rs_empty, structural, vfp_in_rs, vu_non_vfp,
                     wp_active, fe_reason, head_sig, prod_sig, vfp_sig,
+                    # Top-down reads the wrong-path dispatch count every
+                    # cycle; constant otherwise, so the tuple shape (and
+                    # the no-top-down batching) is unchanged.
+                    n_dispatch_wrong if self._sig_topdown else 0,
                 )
                 if sig == self._bat_sig:
                     self._bat_k += 1
@@ -2290,6 +2400,7 @@ def simulate(
     topdown: bool = False,
     fast_forward: bool | None = None,
     replay: bool | None = None,
+    collectors: "tuple[CollectorSpec, ...] | list[CollectorSpec] | None" = None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`CoreSimulator` and run it."""
     return CoreSimulator(
@@ -2302,4 +2413,5 @@ def simulate(
         topdown=topdown,
         fast_forward=fast_forward,
         replay=replay,
+        collectors=collectors,
     ).run()

@@ -83,6 +83,35 @@ def test_resolve_jobs_precedence(monkeypatch):
         resolve_jobs(None)
 
 
+def test_resolve_jobs_auto(monkeypatch):
+    expected = max(1, (os.cpu_count() or 1) - 1)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs("auto") == expected
+    assert resolve_jobs(" AUTO ") == expected, "case/whitespace insensitive"
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert resolve_jobs(None) == expected
+    assert resolve_jobs(2) == 2, "explicit argument beats env auto"
+    monkeypatch.setenv("REPRO_JOBS", "Auto")
+    assert resolve_jobs(None) == expected
+
+
+def test_resolve_jobs_auto_floors_at_one(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert resolve_jobs("auto") == 1
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert resolve_jobs("auto") == 1
+
+
+def test_resolve_jobs_rejects_other_strings(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    with pytest.raises(ValueError, match="integer or 'auto'"):
+        resolve_jobs("fast")
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        resolve_jobs(None)
+
+
 def test_case_spec_needs_exactly_one_machine():
     with pytest.raises(ValueError):
         CaseSpec(workload="mcf")
