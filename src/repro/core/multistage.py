@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.core.commit import CommitAccountant
-from repro.core.components import Component
+from repro.core.components import Component, FlopsComponent
 from repro.core.dispatch import DispatchAccountant
 from repro.core.flops import FlopsAccountant
 from repro.core.issue import IssueAccountant
@@ -151,6 +151,106 @@ class MultiStageCollector:
             self.flops.observe_repeat(obs, k)
         if self.topdown is not None:
             self.topdown.observe_repeat(obs, k)
+
+    def repeat_program(self, obs: CycleObservation):
+        """Compile ``obs``'s per-cycle accounting into a flat update list.
+
+        Returns ``(entries, norms, flops_stack, flops_issued)`` where
+        applying ``counters[comp] += amt * float(k)`` for each entry (in
+        order), plus ``flops_stack.flops += flops_issued * float(k)``, is
+        bit-identical to :meth:`observe_repeat` with repeat count ``k`` —
+        **provided** every normalizer in ``norms`` has ``carry == 0.0``
+        at apply time (the caller must check; carries stay 0.0 whenever
+        per-cycle counts never exceed the accounting width, which the
+        uniform-width batching precondition guarantees).
+
+        Returns ``False`` when no such program exists: top-down attached
+        (its interval state machine is not a fixed update list), a
+        non-EXACT mode (speculative counter files buffer per-block), a
+        non-pow2 width (per-cycle fractions are not exact dyadics), an
+        over-width count, or non-integral FLOP/lane totals.  The
+        bit-exactness argument for each multiplied amount is the same as
+        in the accountants' own ``observe_repeat`` bulk paths — this
+        method only memoizes which branches those paths would take.
+        """
+        if self.topdown is not None or self.mode is not WrongPathMode.EXACT:
+            return False
+        dispatch = self.dispatch
+        issue = self.issue
+        commit = self.commit
+        if not (dispatch._pow2 and issue._pow2 and commit._pow2):
+            return False
+        if (
+            dispatch.spec is not None
+            or issue.spec is not None
+        ):
+            return False
+        entries = []
+        for acc, n in (
+            (dispatch, obs.n_dispatch),
+            (issue, obs.n_issue),
+            (commit, obs.n_commit),
+        ):
+            width = acc.norm.width
+            if n > width:
+                return False
+            f = n / width
+            if f:
+                entries.append((acc.stack.counters, Component.BASE, f))
+            if f < 1.0:
+                target = acc._stall_target(obs)
+                comp = target if acc is commit else target[0]
+                entries.append((acc.stack.counters, comp, 1.0 - f))
+        flops_stack = None
+        flops_issued = 0.0
+        fa = self.flops
+        if fa is not None:
+            if not fa._dyadic:
+                return False
+            if not (
+                float(obs.flops_issued).is_integer()
+                and float(obs.non_fma_loss_lanes).is_integer()
+                and float(obs.masked_lanes).is_integer()
+            ):
+                return False
+            peak = fa.peak
+            units = fa.vector_units
+            counters = fa.stack.counters
+            f = obs.flops_issued / peak
+            if f:
+                entries.append((counters, FlopsComponent.BASE, f))
+            if obs.flops_issued:
+                flops_stack = fa.stack
+                flops_issued = obs.flops_issued
+            if f < 1.0:
+                if obs.non_fma_loss_lanes:
+                    entries.append((
+                        counters,
+                        FlopsComponent.NON_FMA,
+                        obs.non_fma_loss_lanes / peak,
+                    ))
+                if obs.masked_lanes:
+                    entries.append((
+                        counters,
+                        FlopsComponent.MASK,
+                        2.0 * obs.masked_lanes / peak,
+                    ))
+                n_vfp = obs.n_vfp_issued
+                if n_vfp > units:
+                    n_vfp = units
+                slots = (units - n_vfp) / units
+                if slots > 0.0:
+                    entries.append((
+                        counters,
+                        fa._slot_loss_component(obs),
+                        slots,
+                    ))
+        return (
+            tuple(entries),
+            (dispatch.norm, issue.norm, commit.norm),
+            flops_stack,
+            flops_issued,
+        )
 
     # -- speculative-counter event plumbing ----------------------------------
 

@@ -1,8 +1,16 @@
-"""Set-associative write-back cache with true LRU replacement."""
+"""Set-associative write-back cache with true LRU replacement.
+
+Storage is flat per-set line/dirty arrays: position in the array *is* the
+LRU order (index 0 oldest, the last element MRU).  Hits on the MRU way —
+the loop-dominant case — short-circuit with zero reordering work; other
+hits are one C-level scan plus a delete/append pair.  The dict-per-set
+reference implementation lives in :mod:`repro.memory.legacy`
+(``REPRO_LEGACY_MEMORY=1``) and the two are kept bitwise interchangeable.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config.cores import CacheConfig
 
@@ -47,9 +55,12 @@ class Evicted:
 class Cache:
     """One cache level.
 
-    Lines are identified by ``addr >> line_bits``.  Each set is a dict whose
-    insertion order is the LRU order (oldest first); hits reinsert the line
-    to move it to the MRU position.
+    Lines are identified by ``addr >> line_bits``.  Each set is a pair of
+    parallel arrays (``_set_lines[i]`` / ``_set_dirty[i]``) ordered oldest
+    to newest: the last element is the MRU way, the first is the eviction
+    victim.  Hits move the line to the end; :meth:`insert` on a present
+    line leaves its position untouched (matching the dict semantics of
+    :class:`repro.memory.legacy.LegacyCache`).
     """
 
     __slots__ = (
@@ -58,7 +69,9 @@ class Cache:
         "line_bits",
         "set_mask",
         "latency",
-        "_sets",
+        "associativity",
+        "_set_lines",
+        "_set_dirty",
         "_occupancy",
         "stats",
     )
@@ -71,9 +84,13 @@ class Cache:
             raise ValueError("cache line size must be a power of two")
         self.set_mask = config.num_sets - 1
         self.latency = config.latency
-        # set index -> {line: dirty}
-        self._sets: list[dict[int, bool]] = [
-            {} for _ in range(config.num_sets)
+        self.associativity = config.associativity
+        # Parallel per-set arrays, LRU order (oldest first, MRU last).
+        self._set_lines: list[list[int]] = [
+            [] for _ in range(config.num_sets)
+        ]
+        self._set_dirty: list[list[bool]] = [
+            [] for _ in range(config.num_sets)
         ]
         self._occupancy = 0
         self.stats = CacheStats()
@@ -81,59 +98,114 @@ class Cache:
     def line_of(self, addr: int) -> int:
         return addr >> self.line_bits
 
-    def _set_for(self, line: int) -> dict[int, bool]:
-        return self._sets[line & self.set_mask]
-
     def lookup(self, line: int) -> bool:
         """Access the cache; True on hit.  Updates LRU and statistics."""
-        cache_set = self._set_for(line)
-        self.stats.accesses += 1
-        if line in cache_set:
-            dirty = cache_set.pop(line)
-            cache_set[line] = dirty  # move to MRU position
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
+        lines = self._set_lines[line & self.set_mask]
+        stats = self.stats
+        stats.accesses += 1
+        if lines:
+            if lines[-1] == line:
+                # MRU short-circuit: re-accessing the newest way needs no
+                # reordering (the loop-dominant case).
+                stats.hits += 1
+                return True
+            if line in lines:
+                i = lines.index(line)
+                del lines[i]
+                lines.append(line)
+                dirty = self._set_dirty[line & self.set_mask]
+                d = dirty[i]
+                del dirty[i]
+                dirty.append(d)
+                stats.hits += 1
+                return True
+        stats.misses += 1
         return False
 
     def probe(self, line: int) -> bool:
         """Check presence without perturbing LRU or statistics."""
-        return line in self._set_for(line)
+        return line in self._set_lines[line & self.set_mask]
 
     def insert(
         self, line: int, *, dirty: bool = False, prefetch: bool = False
     ) -> Evicted | None:
         """Fill ``line``; returns the victim if one was evicted."""
-        cache_set = self._set_for(line)
-        if line in cache_set:
-            cache_set[line] = cache_set[line] or dirty
+        idx = line & self.set_mask
+        lines = self._set_lines[idx]
+        dirty_bits = self._set_dirty[idx]
+        if line in lines:
+            i = lines.index(line)
+            dirty_bits[i] = dirty_bits[i] or dirty
             return None
         victim: Evicted | None = None
-        if len(cache_set) >= self.config.associativity:
-            victim_line = next(iter(cache_set))
-            victim_dirty = cache_set.pop(victim_line)
-            victim = Evicted(victim_line, victim_dirty)
+        if len(lines) >= self.associativity:
+            victim_dirty = dirty_bits[0]
+            victim = Evicted(lines[0], victim_dirty)
+            del lines[0]
+            del dirty_bits[0]
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.dirty_evictions += 1
-        cache_set[line] = dirty
-        if victim is None:
+        else:
             self._occupancy += 1
+        lines.append(line)
+        dirty_bits.append(dirty)
         if prefetch:
             self.stats.prefetch_fills += 1
         return victim
 
+    def fill(self, line: int, *, dirty: bool = False,
+             prefetch: bool = False) -> int:
+        """Allocation-free :meth:`insert`: the dirty victim's line, or -1.
+
+        Clean evictions (and fills without eviction) return -1 — the
+        caller only needs the line of a victim whose writeback will
+        consume bandwidth, so no :class:`Evicted` is built for the
+        common clean case.  Statistics match :meth:`insert` exactly.
+        """
+        idx = line & self.set_mask
+        lines = self._set_lines[idx]
+        dirty_bits = self._set_dirty[idx]
+        if line in lines:
+            i = lines.index(line)
+            dirty_bits[i] = dirty_bits[i] or dirty
+            return -1
+        out = -1
+        if len(lines) >= self.associativity:
+            if dirty_bits[0]:
+                self.stats.dirty_evictions += 1
+                out = lines[0]
+            self.stats.evictions += 1
+            del lines[0]
+            del dirty_bits[0]
+        else:
+            self._occupancy += 1
+        lines.append(line)
+        dirty_bits.append(dirty)
+        if prefetch:
+            self.stats.prefetch_fills += 1
+        return out
+
     def fingerprint(self) -> tuple:
         """Structural state snapshot for the replay engine's fixed-point
         check: every tag and dirty bit, in LRU order per set.  Counters
-        are excluded — the engine advances them arithmetically."""
-        return tuple(tuple(s.items()) for s in self._sets)
+        are excluded — the engine advances them arithmetically.  The
+        format matches :class:`LegacyCache` exactly (tuples of
+        ``(line, dirty)`` pairs)."""
+        return tuple(
+            tuple(zip(lines, dirty))
+            for lines, dirty in zip(self._set_lines, self._set_dirty)
+        )
 
     def snapshot(self) -> dict:
         """Picklable full state: tags + dirty bits in LRU order per set,
-        the occupancy count, and every statistics counter."""
+        the occupancy count, and every statistics counter.  Schema-stable
+        with :class:`LegacyCache` — snapshots restore across the two."""
         return {
-            "sets": [list(s.items()) for s in self._sets],
+            "sets": [
+                list(zip(lines, dirty))
+                for lines, dirty in zip(self._set_lines, self._set_dirty)
+            ],
             "occupancy": self._occupancy,
             "stats": {
                 "accesses": self.stats.accesses,
@@ -148,14 +220,19 @@ class Cache:
     def restore(self, state: dict) -> None:
         """Inverse of :meth:`snapshot`.
 
-        Mutates the existing set dicts and ``stats`` object in place —
+        Mutates the existing arrays and ``stats`` object in place —
         the replay engine holds live references to ``stats`` — and
-        rebuilds each set's dict in saved order so LRU behaviour (and
-        thus every later eviction) is bitwise reproduced.
+        rebuilds each set in saved order so LRU behaviour (and thus
+        every later eviction) is bitwise reproduced.
         """
-        for cache_set, saved in zip(self._sets, state["sets"]):
-            cache_set.clear()
-            cache_set.update(saved)
+        for idx, saved in enumerate(state["sets"]):
+            lines = self._set_lines[idx]
+            dirty_bits = self._set_dirty[idx]
+            lines.clear()
+            dirty_bits.clear()
+            for line, dirty in saved:
+                lines.append(line)
+                dirty_bits.append(dirty)
         self._occupancy = state["occupancy"]
         stats = state["stats"]
         self.stats.accesses = stats["accesses"]
@@ -167,23 +244,36 @@ class Cache:
 
     def mark_dirty(self, line: int) -> None:
         """Set the dirty bit if the line is present."""
-        cache_set = self._set_for(line)
-        if line in cache_set:
-            cache_set[line] = True
+        idx = line & self.set_mask
+        lines = self._set_lines[idx]
+        if line in lines:
+            self._set_dirty[idx][lines.index(line)] = True
+
+    def mark_dirty_mru(self, line: int) -> None:
+        """Dirty the MRU way of ``line``'s set.
+
+        Hot-path variant of :meth:`mark_dirty` for the store-hit case:
+        the caller has just hit ``line`` via :meth:`lookup`, so it is
+        guaranteed to sit in the MRU position — no scan needed.
+        """
+        self._set_dirty[line & self.set_mask][-1] = True
 
     def invalidate(self, line: int) -> None:
-        # The stored value is the dirty *bool*, so a ``None`` sentinel
-        # unambiguously means the line was absent.
-        if self._set_for(line).pop(line, None) is not None:
+        idx = line & self.set_mask
+        lines = self._set_lines[idx]
+        if line in lines:
+            i = lines.index(line)
+            del lines[i]
+            del self._set_dirty[idx][i]
             self._occupancy -= 1
 
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently cached.
 
-        Maintained as a running count in :meth:`insert`/:meth:`invalidate`
-        (an eviction replaces its victim, so the count is unchanged);
-        summing set sizes per query was O(num_sets) and showed up when
-        occupancy was polled every cycle.
+        Maintained as a running count in :meth:`insert`/:meth:`fill`/
+        :meth:`invalidate` (an eviction replaces its victim, so the count
+        is unchanged); summing set sizes per query was O(num_sets) and
+        showed up when occupancy was polled every cycle.
         """
         return self._occupancy

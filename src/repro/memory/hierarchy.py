@@ -6,28 +6,56 @@ miss for the same line, or misses — acquiring an MSHR slot (queueing when
 the file is full) and recursing to the next level.  The L2 and L3 are
 unified: the instruction and data chains share them, so instruction fills
 evict data lines and vice versa (the Fig. 3b coupling).
+
+The common case — TLB hit plus L1 hit — runs on an allocation-free fast
+path: no ``_access`` recursion, no MSHR probe beyond one dict ``get``, no
+heap ops, no per-access string or :class:`Evicted` construction, and the
+returned :class:`AccessResult` is a preallocated per-hierarchy object
+(every minimum-latency hit is identical except for ``complete``, which is
+rewritten in place; callers read results immediately and never retain
+them).  ``REPRO_LEGACY_MEMORY=1`` / ``fast_path=False`` selects the
+pre-optimization walk over dict-backed caches
+(:mod:`repro.memory.legacy`) as a differential oracle — both paths are
+bitwise identical, which ``tests/test_memory_hotpath.py`` proves.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from heapq import heappop, heappush
 
 from repro.config.cores import MemoryConfig
 from repro.memory.cache import Cache
 from repro.memory.dram import DramModel
+from repro.memory.legacy import LegacyCache, LegacyTlb
 from repro.memory.mshr import MshrFile
 from repro.memory.prefetcher import StreamPrefetcher
 from repro.memory.tlb import Tlb
 
-#: Chain position labels for reporting.
-_LEVEL_NAMES = ("L1", "L2", "L3", "DRAM")
+#: Environment escape hatch for the allocation-free memory fast path and
+#: the flat-array cache/TLB storage.  Set to "1" to fall back to the
+#: legacy dict-backed walk (bitwise identical results; useful for
+#: differential testing and bisection).  Inherited by pool worker
+#: processes like the other REPRO_* hatches.
+ENV_LEGACY_MEMORY = "REPRO_LEGACY_MEMORY"
 
 
-@dataclass(frozen=True, slots=True)
+def legacy_memory_default() -> bool:
+    """Legacy-memory setting from the environment (off unless ``"1"``)."""
+    return os.environ.get(ENV_LEGACY_MEMORY, "0") == "1"
+
+
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of one instruction fetch or data access."""
+    """Outcome of one instruction fetch or data access.
+
+    Mutable so the hierarchy can intern one result object per kind of
+    minimum-latency hit and rewrite ``complete`` in place (the hit fast
+    path).  Callers consume a result before the next access and must not
+    retain it.
+    """
 
     #: Absolute cycle at which the data is available.
     complete: float
@@ -43,7 +71,7 @@ class _Level:
 
     __slots__ = ("cache", "mshr", "outstanding")
 
-    def __init__(self, cache: Cache) -> None:
+    def __init__(self, cache: Cache | LegacyCache) -> None:
         self.cache = cache
         self.mshr = MshrFile(cache.config.mshrs)
         #: line -> completion time of the in-flight fill (for miss merging).
@@ -59,17 +87,25 @@ class MemoryHierarchy:
         *,
         perfect_icache: bool = False,
         perfect_dcache: bool = False,
+        fast_path: bool | None = None,
     ) -> None:
         self.config = config
         self.perfect_icache = perfect_icache
         self.perfect_dcache = perfect_dcache
-        self.l1i = Cache(config.l1i, "L1I")
-        self.l1d = Cache(config.l1d, "L1D")
-        self.l2 = Cache(config.l2, "L2")
-        self.l3 = Cache(config.l3, "L3") if config.l3 is not None else None
+        self.fast_path = (
+            not legacy_memory_default() if fast_path is None else fast_path
+        )
+        cache_cls = Cache if self.fast_path else LegacyCache
+        tlb_cls = Tlb if self.fast_path else LegacyTlb
+        self.l1i = cache_cls(config.l1i, "L1I")
+        self.l1d = cache_cls(config.l1d, "L1D")
+        self.l2 = cache_cls(config.l2, "L2")
+        self.l3 = (
+            cache_cls(config.l3, "L3") if config.l3 is not None else None
+        )
         self.dram = DramModel(config.dram)
-        self.itlb = Tlb(config.itlb)
-        self.dtlb = Tlb(config.dtlb)
+        self.itlb = tlb_cls(config.itlb)
+        self.dtlb = tlb_cls(config.dtlb)
         self.prefetcher = StreamPrefetcher(
             config.prefetcher, config.l1d.line_bytes
         )
@@ -82,8 +118,33 @@ class MemoryHierarchy:
         #: Min-heap of scheduled fill completion times (all levels), for
         #: the fast-forward engine's ``next_event`` query.
         self._fill_events: list[float] = []
+        # Hot-path scalars and per-chain level-name tuples, precomputed
+        # once (the name of a serving level is a pure function of its
+        # chain position — recomputing the string per access showed up in
+        # profiles).  Index ``len(chain)`` is DRAM.
+        self._ichain0 = self._ichain[0]
+        self._dchain0 = self._dchain[0]
+        self._l1i_latency = self.l1i.latency
+        self._l1d_latency = self.l1d.latency
+        self._l1i_bits = self.l1i.line_bits
+        self._l1d_bits = self.l1d.line_bits
+        self._inames = self._names_for(self._ichain)
+        self._dnames = self._names_for(self._dchain)
+        # Interned minimum-latency hit results (fast path): all fields
+        # but ``complete`` are constant for a hit at minimum latency.
+        self._ihit = AccessResult(0.0, True, "L1")
+        self._dhit = AccessResult(0.0, True, "L1")
 
-    # -- core walk -------------------------------------------------------------
+    @staticmethod
+    def _names_for(chain: list[_Level]) -> tuple[str, ...]:
+        """Level names by chain index (index 0 reports as "L1")."""
+        return (
+            "L1",
+            *(level.cache.name for level in chain[1:]),
+            "DRAM",
+        )
+
+    # -- core walk (fast path) ---------------------------------------------------
 
     def _access(
         self,
@@ -113,8 +174,22 @@ class MemoryHierarchy:
             del level.outstanding[line]
         if cache.lookup(line):
             return now + cache.latency, idx
-        # Miss: acquire an MSHR (queueing if the file is full), then fill
-        # from below.
+        return self._miss(chain, idx, line, now, prefetch=prefetch)
+
+    def _miss(
+        self,
+        chain: list[_Level],
+        idx: int,
+        line: int,
+        now: float,
+        *,
+        prefetch: bool = False,
+    ) -> tuple[float, int]:
+        """Post-lookup-miss continuation of :meth:`_access` at
+        ``chain[idx]``: acquire an MSHR (queueing if the file is full),
+        fill from below, install the line, write back a dirty victim."""
+        level = chain[idx]
+        cache = level.cache
         grant = level.mshr.acquire(now + cache.latency)
         complete, served = self._access(
             chain, idx + 1, line, grant, prefetch=prefetch
@@ -122,9 +197,11 @@ class MemoryHierarchy:
         level.mshr.hold_until(complete)
         level.outstanding[line] = complete
         heappush(self._fill_events, complete)
-        victim = cache.insert(line, prefetch=prefetch)
-        if victim is not None and victim.dirty:
-            self._writeback(chain, idx + 1, victim.line, complete)
+        # Evicted-free fill: only a dirty victim's line comes back (clean
+        # evictions allocate nothing — no writeback consumes bandwidth).
+        victim_line = cache.fill(line, prefetch=prefetch)
+        if victim_line >= 0:
+            self._writeback(chain, idx + 1, victim_line, complete)
         return complete, served
 
     def _writeback(
@@ -139,65 +216,219 @@ class MemoryHierarchy:
             below.mark_dirty(line)
         else:
             # Non-inclusive write-back: install the dirty line below.
+            victim_line = below.fill(line, dirty=True)
+            if victim_line >= 0:
+                self._writeback(chain, idx + 1, victim_line, now)
+
+    # -- core walk (legacy oracle) -----------------------------------------------
+
+    def _access_legacy(
+        self,
+        chain: list[_Level],
+        idx: int,
+        line: int,
+        now: float,
+        *,
+        prefetch: bool = False,
+    ) -> tuple[float, int]:
+        """The pre-optimization walk, verbatim: allocates an
+        :class:`Evicted` per eviction and recurses without the fast-path
+        split.  Kept as the differential oracle for the fast walk."""
+        if idx == len(chain):
+            return self.dram.access(now), idx
+        level = chain[idx]
+        cache = level.cache
+        pending = level.outstanding.get(line)
+        if pending is not None:
+            if pending > now:
+                # Merge into the in-flight miss: no new MSHR needed.
+                cache.stats.accesses += 1
+                cache.stats.misses += 1
+                return pending, idx
+            del level.outstanding[line]
+        if cache.lookup(line):
+            return now + cache.latency, idx
+        # Miss: acquire an MSHR (queueing if the file is full), then fill
+        # from below.
+        grant = level.mshr.acquire(now + cache.latency)
+        complete, served = self._access_legacy(
+            chain, idx + 1, line, grant, prefetch=prefetch
+        )
+        level.mshr.hold_until(complete)
+        level.outstanding[line] = complete
+        heappush(self._fill_events, complete)
+        victim = cache.insert(line, prefetch=prefetch)
+        if victim is not None and victim.dirty:
+            self._writeback_legacy(chain, idx + 1, victim.line, complete)
+        return complete, served
+
+    def _writeback_legacy(
+        self, chain: list[_Level], idx: int, line: int, now: float
+    ) -> None:
+        """Push a dirty victim one level down (or to DRAM)."""
+        if idx == len(chain):
+            self.dram.writeback(now)
+            return
+        below = chain[idx].cache
+        if below.probe(line):
+            below.mark_dirty(line)
+        else:
+            # Non-inclusive write-back: install the dirty line below.
             victim = below.insert(line, dirty=True)
             if victim is not None and victim.dirty:
-                self._writeback(chain, idx + 1, victim.line, now)
-
-    @staticmethod
-    def _level_name(chain: list[_Level], idx: int) -> str:
-        if idx >= len(chain):
-            return "DRAM"
-        name = chain[idx].cache.name
-        return name if idx > 0 else "L1"
+                self._writeback_legacy(chain, idx + 1, victim.line, now)
 
     # -- public interface -------------------------------------------------------
 
     def ifetch(self, addr: int, now: float) -> AccessResult:
         """Fetch the instruction line containing ``addr``."""
+        if not self.fast_path:
+            return self._ifetch_legacy(addr, now)
         if self.perfect_icache:
-            return AccessResult(now + self.l1i.latency, True, "L1")
+            res = self._ihit
+            res.complete = now + self._l1i_latency
+            return res
         extra = self.itlb.access(addr)
-        line = self.l1i.line_of(addr)
-        complete, served = self._access(self._ichain, 0, line, now + extra)
+        line = addr >> self._l1i_bits
+        level = self._ichain0
+        pending = level.outstanding.get(line)
+        if pending is None and level.cache.lookup(line):
+            if extra == 0:
+                # Combined TLB-hit + L1-hit fast path: minimum latency,
+                # interned result.
+                res = self._ihit
+                res.complete = now + self._l1i_latency
+                return res
+            # TLB miss over an L1 tag hit is not an L1 "hit" (not served
+            # at minimum latency).
+            return AccessResult(now + extra + self._l1i_latency, False, "L1")
+        start = now + extra
+        if pending is None:
+            complete, served = self._miss(self._ichain, 0, line, start)
+        else:
+            complete, served = self._access(self._ichain, 0, line, start)
         # "Hit" means served at minimum latency: TLB misses and merges into
         # still-outstanding fills are misses even when the line's tag is
         # already present.
-        l1_hit = complete <= now + self.l1i.latency
         return AccessResult(
-            complete, l1_hit, self._level_name(self._ichain, served)
+            complete,
+            complete <= now + self._l1i_latency,
+            self._inames[served],
         )
 
     def dload(self, addr: int, now: float) -> AccessResult:
         """Demand load; triggers the stream prefetcher."""
+        if not self.fast_path:
+            return self._dload_legacy(addr, now)
+        if self.perfect_dcache:
+            res = self._dhit
+            res.complete = now + self._l1d_latency
+            return res
+        extra = self.dtlb.access(addr)
+        line = addr >> self._l1d_bits
+        pf_lines = self.prefetcher.on_demand_access(line)
+        level = self._dchain0
+        pending = level.outstanding.get(line)
+        if pending is None and level.cache.lookup(line):
+            if extra == 0 and not pf_lines:
+                res = self._dhit
+                res.complete = now + self._l1d_latency
+                return res
+            complete = now + extra + self._l1d_latency
+            if pf_lines:
+                self._issue_prefetches(pf_lines, now)
+            return AccessResult(complete, extra == 0, "L1")
+        start = now + extra
+        if pending is None:
+            complete, served = self._miss(self._dchain, 0, line, start)
+        else:
+            complete, served = self._access(self._dchain, 0, line, start)
+        # Prefetches go into the L2 behind the demand access.
+        if pf_lines:
+            self._issue_prefetches(pf_lines, now)
+        return AccessResult(
+            complete,
+            complete <= now + self._l1d_latency,
+            self._dnames[served],
+        )
+
+    def dstore(self, addr: int, now: float) -> AccessResult:
+        """Store: write-allocate into L1D, marking the line dirty."""
+        if not self.fast_path:
+            return self._dstore_legacy(addr, now)
+        if self.perfect_dcache:
+            res = self._dhit
+            res.complete = now + self._l1d_latency
+            return res
+        extra = self.dtlb.access(addr)
+        line = addr >> self._l1d_bits
+        level = self._dchain0
+        pending = level.outstanding.get(line)
+        if pending is None and level.cache.lookup(line):
+            # The line just hit, so it sits in the MRU way: dirty it
+            # without a scan.
+            level.cache.mark_dirty_mru(line)
+            if extra == 0:
+                res = self._dhit
+                res.complete = now + self._l1d_latency
+                return res
+            return AccessResult(now + extra + self._l1d_latency, False, "L1")
+        start = now + extra
+        if pending is None:
+            complete, served = self._miss(self._dchain, 0, line, start)
+        else:
+            complete, served = self._access(self._dchain, 0, line, start)
+        self.l1d.mark_dirty(line)
+        return AccessResult(
+            complete,
+            complete <= now + self._l1d_latency,
+            self._dnames[served],
+        )
+
+    def _ifetch_legacy(self, addr: int, now: float) -> AccessResult:
+        """Pre-optimization :meth:`ifetch` (differential oracle)."""
+        if self.perfect_icache:
+            return AccessResult(now + self.l1i.latency, True, "L1")
+        extra = self.itlb.access(addr)
+        line = self.l1i.line_of(addr)
+        complete, served = self._access_legacy(
+            self._ichain, 0, line, now + extra
+        )
+        l1_hit = complete <= now + self.l1i.latency
+        return AccessResult(complete, l1_hit, self._inames[served])
+
+    def _dload_legacy(self, addr: int, now: float) -> AccessResult:
+        """Pre-optimization :meth:`dload` (differential oracle)."""
         if self.perfect_dcache:
             return AccessResult(now + self.l1d.latency, True, "L1")
         extra = self.dtlb.access(addr)
         line = self.l1d.line_of(addr)
         pf_lines = self.prefetcher.on_demand_access(line)
-        complete, served = self._access(self._dchain, 0, line, now + extra)
+        complete, served = self._access_legacy(
+            self._dchain, 0, line, now + extra
+        )
         # Prefetches go into the L2 behind the demand access.
         if pf_lines:
             self._issue_prefetches(pf_lines, now)
         l1_hit = complete <= now + self.l1d.latency
-        return AccessResult(
-            complete, l1_hit, self._level_name(self._dchain, served)
-        )
+        return AccessResult(complete, l1_hit, self._dnames[served])
 
-    def dstore(self, addr: int, now: float) -> AccessResult:
-        """Store: write-allocate into L1D, marking the line dirty."""
+    def _dstore_legacy(self, addr: int, now: float) -> AccessResult:
+        """Pre-optimization :meth:`dstore` (differential oracle)."""
         if self.perfect_dcache:
             return AccessResult(now + self.l1d.latency, True, "L1")
         extra = self.dtlb.access(addr)
         line = self.l1d.line_of(addr)
-        complete, served = self._access(self._dchain, 0, line, now + extra)
+        complete, served = self._access_legacy(
+            self._dchain, 0, line, now + extra
+        )
         self.l1d.mark_dirty(line)
         l1_hit = complete <= now + self.l1d.latency
-        return AccessResult(
-            complete, l1_hit, self._level_name(self._dchain, served)
-        )
+        return AccessResult(complete, l1_hit, self._dnames[served])
 
     def _issue_prefetches(self, lines: list[int], now: float) -> None:
         """Inject prefetch fills at the L2 (index 1 of the data chain)."""
+        access = self._access if self.fast_path else self._access_legacy
         l2_level = self._dchain[1]
         for line in lines:
             if line < 0:
@@ -205,7 +436,7 @@ class MemoryHierarchy:
             if l2_level.cache.probe(line) or line in l2_level.outstanding:
                 continue
             self.prefetches_issued += 1
-            self._access(self._dchain, 1, line, now, prefetch=True)
+            access(self._dchain, 1, line, now, prefetch=True)
 
     def probe_latency(self, addr: int, now: float) -> float:
         """Latency estimate for a wrong-path load: probes without mutation."""
@@ -249,7 +480,9 @@ class MemoryHierarchy:
         outstanding fills (times relative to ``now``), DRAM queue headroom,
         both TLBs and the prefetcher table.  Counters and ``_fill_events``
         are excluded: the former are delta-advanced by the engine, the
-        latter is purely observational (see :meth:`next_event`).
+        latter is purely observational (see :meth:`next_event`).  The
+        per-cache format is identical across the flat-array and legacy
+        representations, so replay fixed points survive the gate.
         """
         levels = tuple(
             (
@@ -303,7 +536,9 @@ class MemoryHierarchy:
         fill map; plus DRAM, both TLBs, the prefetcher, the prefetch
         counter and the observational ``_fill_events`` heap (saved
         verbatim so ``next_event`` pops in the identical order after a
-        resume, keeping fast-forward windows bitwise reproducible).
+        resume, keeping fast-forward windows bitwise reproducible).  The
+        schema is representation-independent: a snapshot taken under the
+        fast path restores into a legacy hierarchy and vice versa.
         """
         return {
             "levels": [

@@ -17,6 +17,11 @@ from repro.config.cores import PrefetcherConfig
 #: Region granularity for stream detection (lines per 4 KB page).
 _REGION_BITS = 12
 
+#: Shared empty result for the no-prefetch cases: ``on_demand_access`` is
+#: called on every demand load, and allocating a fresh empty list per call
+#: showed up on the hot path.  Callers only iterate the result.
+_NO_PREFETCHES: list[int] = []
+
 
 @dataclass(slots=True)
 class _Stream:
@@ -49,7 +54,7 @@ class StreamPrefetcher:
     def on_demand_access(self, line: int) -> list[int]:
         """Observe a demand L1D access; returns lines to prefetch into L2."""
         if not self.config.enabled:
-            return []
+            return _NO_PREFETCHES
         region = self._region_of(line)
         streams = self._streams
         stream = streams.pop(region, None)
@@ -57,12 +62,12 @@ class StreamPrefetcher:
             if len(streams) >= self.config.streams:
                 del streams[next(iter(streams))]
             streams[region] = _Stream(last_line=line, frontier=line)
-            return []
+            return _NO_PREFETCHES
         streams[region] = stream  # refresh LRU position
         delta = line - stream.last_line
         stream.last_line = line
         if delta == 0:
-            return []
+            return _NO_PREFETCHES
         direction = 1 if delta > 0 else -1
         if direction == stream.direction:
             if stream.confidence < 8:
@@ -71,9 +76,9 @@ class StreamPrefetcher:
             stream.direction = direction
             stream.confidence = 1
             stream.frontier = line
-            return []
+            return _NO_PREFETCHES
         if stream.confidence < self.config.train_threshold:
-            return []
+            return _NO_PREFETCHES
         # Trained: fetch `degree` new lines, up to `distance` ahead.
         self.triggers += 1
         targets: list[int] = []

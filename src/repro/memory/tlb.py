@@ -5,6 +5,11 @@ latency is folded into the instruction/data access time; the accounting
 algorithms therefore see TLB misses inside the Icache/Dcache components,
 matching the paper's component definition ("misses in the instruction and
 data cache (and TLB)").
+
+Storage is a flat entry array in LRU order (oldest first, MRU last) with
+an MRU short-circuit: the loop-dominant "same page again" case touches
+nothing.  The dict-backed reference lives in
+:class:`repro.memory.legacy.LegacyTlb` (``REPRO_LEGACY_MEMORY=1``).
 """
 
 from __future__ import annotations
@@ -22,8 +27,8 @@ class Tlb:
         self.page_bits = config.page_bytes.bit_length() - 1
         if (1 << self.page_bits) != config.page_bytes:
             raise ValueError("TLB page size must be a power of two")
-        # dict insertion order is the LRU order (oldest first).
-        self._entries: dict[int, None] = {}
+        # Flat array in LRU order (oldest first, MRU last).
+        self._entries: list[int] = []
         self.accesses = 0
         self.misses = 0
 
@@ -32,14 +37,19 @@ class Tlb:
         page = addr >> self.page_bits
         self.accesses += 1
         entries = self._entries
-        if page in entries:
-            del entries[page]
-            entries[page] = None
-            return 0
+        if entries:
+            if entries[-1] == page:
+                # MRU short-circuit: consecutive accesses to one page
+                # (the loop-dominant case) reorder nothing.
+                return 0
+            if page in entries:
+                entries.remove(page)
+                entries.append(page)
+                return 0
         self.misses += 1
         if len(entries) >= self.config.entries:
-            del entries[next(iter(entries))]
-        entries[page] = None
+            del entries[0]
+        entries.append(page)
         return self.config.miss_penalty
 
     def fingerprint(self) -> tuple:
@@ -48,7 +58,8 @@ class Tlb:
         return tuple(self._entries)
 
     def snapshot(self) -> dict:
-        """Picklable full state (entries in LRU order + counters)."""
+        """Picklable full state (entries in LRU order + counters);
+        schema-stable with :class:`repro.memory.legacy.LegacyTlb`."""
         return {
             "entries": list(self._entries),
             "accesses": self.accesses,
@@ -57,9 +68,7 @@ class Tlb:
 
     def restore(self, state: dict) -> None:
         """Inverse of :meth:`snapshot`; rebuilds LRU order in place."""
-        self._entries.clear()
-        for page in state["entries"]:
-            self._entries[page] = None
+        self._entries[:] = state["entries"]
         self.accesses = state["accesses"]
         self.misses = state["misses"]
 

@@ -626,7 +626,10 @@ class Frontend:
         template = self.config.wrong_path
         rng = self._rng
         rng_random = rng.random
-        rng_randrange = rng.randrange
+        # randrange(-8192, 8192) inlined: CPython's _randbelow draws
+        # 15-bit words and rejects >= 16384, so this consumes the exact
+        # same underlying bit stream (state and values are identical).
+        rng_getrandbits = rng.getrandbits
         # pick_class inlined (one call per synthesized micro-op): same
         # bisect over the cumulative thresholds, same final clamp.
         cum = template._cum
@@ -663,10 +666,12 @@ class Frontend:
                 srcs = ()
             is_load = uclass is load_class
             if is_load:
-                addr = max(
-                    0,
-                    self._wp_data_addr + rng_randrange(-8192, 8192),
-                )
+                off = rng_getrandbits(15)
+                while off >= 16384:
+                    off = rng_getrandbits(15)
+                addr = self._wp_data_addr + off - 8192
+                if addr < 0:
+                    addr = 0
                 uop = MicroOp(uclass, srcs=srcs, dst=dst, addr=addr, size=8)
             else:
                 key = (uclass << 8) | (dst_off << 4) | src_off

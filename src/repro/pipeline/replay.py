@@ -484,8 +484,13 @@ class ReplayEngine:
         sim.fu.shift_time(cycle, jump)
         sim.hierarchy.shift_time(cycle, jump)
 
-        sim.replay_windows += 1
-        sim.replay_cycles_skipped += jump
+        if sim._replay_enabled:
+            # Telemetry only counts user-requested replay: the memory
+            # fast path arms the engine silently (results are bitwise
+            # identical either way), and ``replay=False`` runs must
+            # keep reporting zero windows.
+            sim.replay_windows += 1
+            sim.replay_cycles_skipped += jump
         return jump
 
     def _feed(self, k: int) -> None:
@@ -519,7 +524,16 @@ class ReplayEngine:
         if buf_p is not sim._bat_cur:
             # Never hand an engine-owned buffer to the simulator's
             # spare/current rotation; copy the trailing run instead.
-            _copy_obs(buf_p, sim._bat_cur)
+            # The copy must land in a simulator-private buffer: the
+            # current one may be an immutable signature-cache entry (or
+            # the dedicated Unsched buffer), which other signatures'
+            # batches will reuse verbatim.
+            dst = sim._bat_private[0]
+            if dst is sim._bat_cur:
+                dst = sim._bat_private[1]
+            _copy_obs(buf_p, dst)
+            dst.delta = None
+            sim._bat_cur = dst
         sim._bat_sig = sig_p
         sim._bat_k = k_p
 
