@@ -23,7 +23,7 @@ def test_multicore_aggregation(benchmark, reporter):
         benchmark,
         lambda: simulate_socket(
             "gemm-train-1760-skx", skylake_x(), threads=THREADS,
-            instructions=8000,
+            instructions=8000, homogeneous=True,
         ),
     )
     reporter.emit(

@@ -44,7 +44,7 @@ from repro.core.wrongpath import WrongPathMode
 from repro.experiments import supervisor
 from repro.experiments.error import figure2_errors, summarize_errors
 from repro.experiments.idealization import FIG3_CASES, fig3_case, table1_rows
-from repro.experiments.flops_study import figure5_case
+from repro.experiments.flops_study import figure5_case, figure5_socket_case
 from repro.experiments.overhead import measure_overhead
 from repro.experiments import parallel
 from repro.experiments.parallel import summarize_since, telemetry_mark
@@ -198,6 +198,8 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
+    if args.cores > 1:
+        return _cmd_fig5_socket(args)
     case = figure5_case(
         instructions=args.instructions, jobs=args.jobs,
         keep_going=args.keep_going, case_timeout=args.case_timeout,
@@ -227,6 +229,55 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig5_socket(args: argparse.Namespace) -> int:
+    case = figure5_socket_case(
+        cores=args.cores, instructions=args.instructions, jobs=args.jobs,
+        keep_going=args.keep_going, case_timeout=args.case_timeout,
+        homogeneous=args.homogeneous,
+    )
+    config = get_preset(case.preset)
+    max_ipc = float(config.accounting_width)
+    model = "homogeneous clones" if args.homogeneous else (
+        "shared-memory engine (shared L3/DRAM, barrier sync)"
+    )
+    print(
+        f"Fig. 5 on a simulated {case.cores}-core socket "
+        f"({case.workload}@{case.preset}, {model})"
+    )
+    for idealized, label in ((False, "baseline"), (True, "perfect Dcache")):
+        print(f"--- {label} ---")
+        for core in range(case.cores):
+            print(f"core {core} IPC stack (height = max IPC):")
+            stack = case.core_ipc_stack(core, idealized)
+            print(
+                render_stack_bar(stack, order=list(stack), scale=max_ipc)
+            )
+        print("socket IPC stack (per-core average):")
+        print(
+            render_stack_bar(
+                case.ipc_stack(idealized),
+                order=list(case.ipc_stack(idealized)),
+                scale=max_ipc,
+            )
+        )
+        print(f"socket FLOPS stack ({case.cores}-core GFLOPS):")
+        peak = (
+            config.frequency_ghz
+            * config.peak_flops_per_cycle
+            * case.cores
+        )
+        print(
+            render_stack_bar(
+                case.flops_stack(idealized),
+                order=FLOPS_COMPONENTS,
+                scale=peak,
+                value_format="{:,.0f}",
+            )
+        )
+        print()
+    return 0
+
+
 def _cmd_socket(args: argparse.Namespace) -> int:
     from repro.experiments.multicore import simulate_socket
 
@@ -239,10 +290,14 @@ def _cmd_socket(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         keep_going=args.keep_going,
         case_timeout=args.case_timeout,
+        homogeneous=args.homogeneous,
+    )
+    model = "homogeneous clones" if args.homogeneous else (
+        "shared-memory engine"
     )
     print(
         f"{args.threads}-thread socket of {args.workload} on "
-        f"{args.core}: aggregate CPI {result.cpi:.3f} "
+        f"{args.core} ({model}): aggregate CPI {result.cpi:.3f} "
         f"(thread homogeneity: {100 * result.homogeneity():.1f}% max "
         "deviation)"
     )
@@ -536,17 +591,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     f5 = sub.add_parser("fig5", help="reproduce Fig. 5 (IPC vs FLOPS)")
     f5.add_argument("--instructions", type=int, default=None)
+    f5.add_argument(
+        "--cores", type=int, default=1,
+        help="simulate an N-core shared-memory socket instead of one "
+        "core (per-core stacks with contention and barrier Unsched)",
+    )
+    f5.add_argument(
+        "--homogeneous", action="store_true",
+        help="with --cores: run independent per-thread clones (the "
+        "paper's homogeneity premise) instead of the shared-memory "
+        "engine",
+    )
     _add_harness_flags(f5)
     f5.set_defaults(func=_cmd_fig5)
 
     sk = sub.add_parser(
-        "socket", help="aggregate homogeneous threads (paper Sec. IV)"
+        "socket", help="simulate a multi-core socket (paper Sec. IV)"
     )
     sk.add_argument("--workload", default="gemm-train-1760-skx",
                     choices=sorted(WORKLOADS))
     sk.add_argument("--core", default="skx", choices=sorted(PRESETS))
     sk.add_argument("--threads", type=int, default=4)
     sk.add_argument("--instructions", type=int, default=None)
+    sk.add_argument(
+        "--homogeneous", action="store_true",
+        help="run independent per-thread clones (the paper's "
+        "homogeneity premise) instead of the shared-memory engine",
+    )
     _add_harness_flags(sk)
     sk.set_defaults(func=_cmd_socket)
 

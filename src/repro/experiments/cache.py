@@ -82,12 +82,20 @@ class CaseSpec:
     accounting: bool = True
     topdown: bool = False
     accounting_width: int | None = None
+    #: Core count.  1 (default) is the historical single-core case — its
+    #: fingerprint, key and cache entries are byte-identical to before the
+    #: multi-core engine existed.  > 1 runs the workload's threaded
+    #: decomposition on the shared-memory engine as ONE case (one socket
+    #: run); per-core results are published under :meth:`member_key`.
+    cores: int = 1
 
     def __post_init__(self) -> None:
         if (self.preset is None) == (self.config is None):
             raise ValueError(
                 "CaseSpec needs exactly one of preset= or config="
             )
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
 
     @property
     def simulate_seed(self) -> int:
@@ -118,7 +126,7 @@ class CaseSpec:
         fingerprint are provably served by one pipeline run (collectors
         are observational), which is what fused execution exploits.
         """
-        return {
+        fp = {
             "schema": ACCOUNTING_SCHEMA_VERSION,
             "workload": self.workload,
             "instructions": self.instructions,
@@ -133,6 +141,15 @@ class CaseSpec:
             ),
             "config": self.resolved_config().fingerprint(),
         }
+        if self.cores > 1:
+            # Multicore identity fields appear ONLY for cores > 1, so
+            # every pre-existing single-core key stays byte-identical.
+            # The schema marker versions the engine's key-relevant
+            # semantics (trace decomposition, seed/warmup derivation,
+            # arbitration) independently of the accounting schema.
+            fp["cores"] = self.cores
+            fp["multicore_schema"] = 1
+        return fp
 
     def timing_key(self) -> str:
         """SHA-256 content address of :meth:`timing_fingerprint`."""
@@ -174,7 +191,29 @@ class CaseSpec:
             acct = "#noacc"
         elif self.topdown:
             acct = "#td"
-        return f"{self.workload}@{machine}{ideal}{acct}"
+        socket = f"x{self.cores}" if self.cores > 1 else ""
+        return f"{self.workload}@{machine}{ideal}{acct}{socket}"
+
+    def member_fingerprint(self, core: int) -> dict:
+        """Identity of one core's slice of a multi-core case."""
+        fp = self.fingerprint()
+        fp["multicore_member"] = core
+        return fp
+
+    def member_key(self, core: int) -> str:
+        """Cache key for core ``core``'s result of a multi-core case.
+
+        For ``cores == 1`` the member key IS the case key: a 1-core
+        socket is the historical single-core case, sharing its cache
+        entry.
+        """
+        if self.cores == 1 and core == 0:
+            return self.key()
+        text = json.dumps(
+            self.member_fingerprint(core), sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -195,6 +234,11 @@ class FusedGroup:
     def __post_init__(self) -> None:
         if len(self.specs) < 2:
             raise ValueError("a FusedGroup needs at least two members")
+        if any(spec.cores > 1 for spec in self.specs):
+            # A multi-core case is already one engine run producing every
+            # core's result; fusing it with anything would conflate the
+            # engine's per-core collectors with fused-member collectors.
+            raise ValueError("multi-core cases cannot be fused")
         timing_keys = {spec.timing_key() for spec in self.specs}
         if len(timing_keys) != 1:
             raise ValueError(

@@ -214,6 +214,130 @@ def figure5_case(
     return Figure5Case(workload, preset, baseline, ideal)
 
 
+@dataclass(slots=True)
+class Figure5SocketCase:
+    """Per-core IPC and FLOPS stacks for a multi-core conv socket.
+
+    ``baseline[i]`` / ``perfect_dcache[i]`` are core ``i``'s results from
+    the shared-memory engine (or, under the homogeneous oracle, thread
+    ``i``'s independent run).  Aggregates follow the paper's rules: IPC
+    stacks average component per component, FLOPS-rate stacks add.
+    """
+
+    workload: str
+    preset: str
+    cores: int
+    baseline: list[SimResult]
+    perfect_dcache: list[SimResult]
+
+    def _results(self, idealized: bool) -> list[SimResult]:
+        return self.perfect_dcache if idealized else self.baseline
+
+    def core_ipc_stack(
+        self, core: int, idealized: bool = False
+    ) -> dict[Component, float]:
+        """Core ``core``'s issue-stage IPC stack (height = max IPC)."""
+        result = self._results(idealized)[core]
+        assert result.report is not None
+        max_ipc = float(get_preset(self.preset).accounting_width)
+        return result.report.issue.ipc_components(max_ipc)
+
+    def ipc_stack(self, idealized: bool = False) -> dict[Component, float]:
+        """Socket IPC stack: per-core stacks averaged per component."""
+        stacks = [
+            self.core_ipc_stack(core, idealized)
+            for core in range(self.cores)
+        ]
+        return {
+            comp: sum(stack.get(comp, 0.0) for stack in stacks) / self.cores
+            for comp in stacks[0]
+        }
+
+    def flops_stack(
+        self, idealized: bool = False
+    ) -> dict[FlopsComponent, float]:
+        """Socket FLOPS-rate stack: per-core GFLOPS stacks added."""
+        config = get_preset(self.preset)
+        acc: dict[FlopsComponent, float] = {}
+        for result in self._results(idealized):
+            report = result.report
+            assert report is not None and report.flops is not None
+            for comp, value in report.flops.rate_components(
+                config.frequency_ghz, cores=1
+            ).items():
+                acc[comp] = acc.get(comp, 0.0) + value
+        return acc
+
+
+def figure5_socket_case(
+    workload: str = "conv-vgg-2-fwd",
+    preset: str = "skx",
+    *,
+    cores: int = 4,
+    instructions: int | None = None,
+    seed: int = 1,
+    jobs: int | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
+    homogeneous: bool = False,
+) -> Figure5SocketCase:
+    """Run Fig. 5 on a simulated multi-core socket, +/- perfect Dcache.
+
+    By default both the baseline and the perfect-Dcache variants run as
+    one shared-memory engine each (``cores``-way threaded decomposition,
+    shared L3/DRAM, barrier sync), so the per-core stacks carry simulated
+    contention and a nonzero ``Unsched`` component on the less-loaded
+    cores.  ``homogeneous=True`` falls back to the paper's independent
+    cloning oracle (thread ``t`` seeded ``seed + t``, no sharing).
+    """
+    if cores < 1:
+        raise ValueError("a Fig. 5 socket needs at least one core")
+    if homogeneous:
+        specs = [
+            CaseSpec(
+                workload=workload, preset=preset,
+                idealization=ideal, instructions=instructions,
+                seed=seed + thread,
+            )
+            for ideal in (None, PERFECT_DCACHE)
+            for thread in range(cores)
+        ]
+        flat = run_cases(
+            specs, jobs=jobs, keep_going=keep_going,
+            case_timeout=case_timeout,
+        )
+        baseline, ideal = flat[:cores], flat[cores:]
+    else:
+        from repro.experiments.parallel import run_multicore_cases
+
+        pair = run_multicore_cases(
+            [
+                CaseSpec(
+                    workload=workload, preset=preset,
+                    instructions=instructions, seed=seed, cores=cores,
+                ),
+                CaseSpec(
+                    workload=workload, preset=preset,
+                    idealization=PERFECT_DCACHE,
+                    instructions=instructions, seed=seed, cores=cores,
+                ),
+            ],
+            jobs=jobs, keep_going=keep_going, case_timeout=case_timeout,
+        )
+        baseline, ideal = pair[0], pair[1]
+    if (
+        baseline is None or ideal is None
+        or any(r is None for r in baseline) or any(r is None for r in ideal)
+    ):
+        raise IncompleteBatch(
+            f"figure5 socket case {workload}@{preset}x{cores} incomplete; "
+            "see `repro failures list`"
+        )
+    return Figure5SocketCase(
+        workload, preset, cores, list(baseline), list(ideal)
+    )
+
+
 def cpi_normalized(result: SimResult) -> dict[Component, float]:
     """Normalized issue-stage CPI components (helper for reports)."""
     assert result.report is not None

@@ -1,4 +1,4 @@
-"""Multicore aggregation (paper Sec. IV).
+"""Multicore simulation and aggregation (paper Sec. IV).
 
 The paper simulates the DeepBench kernels on 68-core KNL / 26-core SKX
 sockets and aggregates: "We aggregate the CPI stacks by averaging them
@@ -6,10 +6,25 @@ component per component.  This is possible because all threads show
 homogeneous behavior.  Similarly, we add the FLOPS stacks by their
 components."
 
-This module reproduces that methodology: it simulates N homogeneous
-threads of the same kernel (distinct seeds and data offsets emulate the
-per-thread work partition) and aggregates the per-thread stacks into one
-socket-level report.
+Two execution models reproduce that methodology:
+
+* **Shared-memory engine** (the default): one
+  :class:`~repro.pipeline.multicore.MulticoreSimulator` steps every core
+  in cycle lockstep over a shared L3 + DRAM backend, running the
+  workload's native threaded decomposition (disjoint data partitions,
+  barrier synchronization, deliberate imbalance).  Per-core stacks then
+  reflect *simulated* shared-resource contention and barrier wait time
+  (the ``Unsched`` component) rather than an assumption of homogeneity.
+
+* **Homogeneous cloning** (``homogeneous=True``): the paper's original
+  premise — N fully independent instances of the kernel with distinct
+  seeds, no shared resources, no synchronization.  This is the oracle
+  the engine is differentially tested against (with contention disabled,
+  the engine must reproduce it exactly) and remains available for
+  methodology comparisons.
+
+Either way the per-thread stacks aggregate the same way: CPI stacks are
+averaged component per component, FLOPS stacks are summed.
 """
 
 from __future__ import annotations
@@ -24,14 +39,14 @@ from repro.core.stack import (
     sum_flops_stacks,
 )
 from repro.experiments.cache import CaseSpec
-from repro.experiments.parallel import run_cases
+from repro.experiments.parallel import run_cases, run_multicore_cases
 from repro.experiments.supervisor import IncompleteBatch
 from repro.pipeline.result import SimResult
 
 
 @dataclass(slots=True)
 class SocketResult:
-    """Aggregated socket-level stacks from homogeneous threads."""
+    """Aggregated socket-level stacks from one multicore simulation."""
 
     workload: str
     config: CoreConfig
@@ -64,51 +79,12 @@ class SocketResult:
         return max(abs(c - mean) for c in cpis) / mean
 
 
-def simulate_socket(
+def _aggregate(
     workload: str,
     config: CoreConfig,
-    *,
-    threads: int = 4,
-    instructions: int | None = None,
-    warmup_fraction: float = 0.3,
-    base_seed: int = 1,
-    jobs: int | None = None,
-    keep_going: bool = False,
-    case_timeout: float | None = None,
+    threads: int,
+    results: list[SimResult],
 ) -> SocketResult:
-    """Simulate ``threads`` homogeneous instances and aggregate.
-
-    Each thread gets its own trace seed (different data-dependent control
-    flow and addresses within the same kernel structure), modelling the
-    per-thread tiles of a parallel HPC kernel.  The threads are fully
-    independent, so they are declared as one batch and scheduled across
-    worker processes like any other case list.  A socket aggregate over a
-    *subset* of its threads would be silently wrong, so even under
-    ``keep_going`` a missing thread raises.
-    """
-    if threads < 1:
-        raise ValueError("a socket needs at least one thread")
-    specs = [
-        CaseSpec(
-            workload=workload,
-            config=config,
-            instructions=instructions,
-            seed=base_seed + thread,
-            sim_seed=base_seed + 1000 + thread,
-            warmup_fraction=warmup_fraction,
-        )
-        for thread in range(threads)
-    ]
-    maybe_results = run_cases(
-        specs, jobs=jobs, keep_going=keep_going, case_timeout=case_timeout
-    )
-    missing = [i for i, r in enumerate(maybe_results) if r is None]
-    if missing:
-        raise IncompleteBatch(
-            f"socket aggregate for {workload} needs all {threads} threads; "
-            f"thread(s) {missing} failed — see `repro failures list`"
-        )
-    results: list[SimResult] = maybe_results
     reports = [r.report for r in results]
     assert all(rep is not None for rep in reports)
     dispatch = average_stacks([rep.dispatch for rep in reports])
@@ -129,3 +105,85 @@ def simulate_socket(
         commit=commit,
         flops=flops,
     )
+
+
+def simulate_socket(
+    workload: str,
+    config: CoreConfig,
+    *,
+    threads: int = 4,
+    instructions: int | None = None,
+    warmup_fraction: float = 0.3,
+    base_seed: int = 1,
+    jobs: int | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
+    homogeneous: bool = False,
+) -> SocketResult:
+    """Simulate a ``threads``-core socket and aggregate the stacks.
+
+    By default the socket is one shared-memory engine run: every core
+    executes its partition of the workload's threaded decomposition in
+    cycle lockstep against a shared L3/DRAM backend, so ``per_thread[i]``
+    is core ``i``'s result including contention and barrier-wait
+    (``Unsched``) cycles.  With ``homogeneous=True`` the paper's original
+    cloning methodology runs instead: ``threads`` fully independent
+    instances with per-thread trace seed ``base_seed + thread`` and
+    simulation seed ``base_seed + 1000 + thread`` — ``per_thread[i]`` is
+    always thread ``i``'s result, in that fixed seed order, regardless of
+    how the batch was scheduled.
+
+    A socket aggregate over a *subset* of its threads would be silently
+    wrong, so even under ``keep_going`` a missing thread raises
+    :class:`IncompleteBatch`.
+    """
+    if threads < 1:
+        raise ValueError("a socket needs at least one thread")
+    if homogeneous:
+        specs = [
+            CaseSpec(
+                workload=workload,
+                config=config,
+                instructions=instructions,
+                seed=base_seed + thread,
+                sim_seed=base_seed + 1000 + thread,
+                warmup_fraction=warmup_fraction,
+            )
+            for thread in range(threads)
+        ]
+        maybe_results = run_cases(
+            specs, jobs=jobs, keep_going=keep_going,
+            case_timeout=case_timeout,
+        )
+        # Slot i of the batch IS thread i (trace seed base_seed + i):
+        # run_cases returns results in input-spec order by contract, so
+        # per_thread ordering never depends on scheduling or on dict
+        # iteration order.
+        missing = [i for i, r in enumerate(maybe_results) if r is None]
+        if missing:
+            raise IncompleteBatch(
+                f"socket aggregate for {workload} needs all {threads} "
+                f"threads; thread(s) {missing} failed — see "
+                "`repro failures list`"
+            )
+        return _aggregate(workload, config, threads, list(maybe_results))
+    spec = CaseSpec(
+        workload=workload,
+        config=config,
+        instructions=instructions,
+        seed=base_seed,
+        sim_seed=base_seed + 1000,
+        warmup_fraction=warmup_fraction,
+        cores=threads,
+    )
+    batch = run_multicore_cases(
+        [spec], jobs=jobs, keep_going=keep_going, case_timeout=case_timeout
+    )
+    per_core = batch[0]
+    if per_core is None:
+        raise IncompleteBatch(
+            f"socket aggregate for {workload} needs the whole "
+            f"{threads}-core engine run; it failed — see "
+            "`repro failures list`"
+        )
+    return _aggregate(workload, config, threads, list(per_core))

@@ -213,6 +213,12 @@ def run_cases(
     lands in the disk cache under its own key.
     """
     spec_list: Sequence[CaseSpec] = list(specs)
+    for spec in spec_list:
+        if spec.cores > 1:
+            raise ValueError(
+                f"{spec.label()} is a multi-core case; use "
+                "run_multicore_cases for cores > 1"
+            )
     jobs = resolve_jobs(jobs)
     if fuse is None:
         fuse = fuse_default()
@@ -295,6 +301,102 @@ def run_cases(
         resumed_instructions=outcome.resumed_instructions,
         fused_groups=fused_groups,
         fused_runs_saved=fused_runs_saved,
+        failure_reports=dict(outcome.failures),
+    )
+    global LAST_BATCH
+    LAST_BATCH = stats
+    if outcome.failures and not keep_going:
+        raise BatchFailure(outcome.failures)
+    return [results.get(key) for key in keys]
+
+
+def run_multicore_cases(
+    specs: Iterable[CaseSpec],
+    *,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    mp_start_method: str | None = None,
+    keep_going: bool = False,
+    case_timeout: float | None = None,
+    max_attempts: int | None = None,
+    retry_backoff: float | None = None,
+    checkpoint_interval: int | None = None,
+) -> list[list[SimResult] | None]:
+    """Resolve a batch of (possibly multi-core) socket cases.
+
+    Returns one ``list[SimResult]`` per input spec — entry ``i`` of the
+    inner list is core ``i``'s result — in input order, with ``None`` in
+    failed slots under ``keep_going=True``.  A ``cores == 1`` spec is the
+    historical single-core case (same cache key, same plain trace) and
+    comes back as a one-element list.
+
+    Each multi-core spec is one supervised item: the whole socket is
+    attempted, timed out and retried as a unit (per-core timings are
+    coupled through the shared L3/DRAM backend, so a subset cannot be
+    recomputed alone), but per-core results land in the cache under their
+    member keys.  A cached socket requires every member key to hit —
+    partial hits rerun the whole engine.  Fusion never applies: the
+    engine already runs every core's collector in one pass.
+    """
+    spec_list: Sequence[CaseSpec] = list(specs)
+    jobs = resolve_jobs(jobs)
+    start = time.perf_counter()
+    before = TELEMETRY.counters()
+    sims_before = len(TELEMETRY.case_seconds)
+
+    keys = [spec.key() for spec in spec_list]
+    results: dict[str, list[SimResult]] = {}
+    pending: dict[str, CaseSpec] = {}
+    for key, spec in zip(keys, spec_list):
+        if key in results or key in pending:
+            continue
+        if use_cache:
+            cached = runner.lookup_cached_multicore(spec)
+            if cached is not None:
+                results[key] = cached
+                continue
+        pending[key] = spec
+
+    outcome = supervisor.SupervisionOutcome()
+    if pending:
+        outcome = supervisor.run_supervised(
+            list(pending.items()),
+            jobs=jobs,
+            mp_start_method=mp_start_method,
+            use_cache=use_cache,
+            case_timeout=case_timeout,
+            max_attempts=max_attempts,
+            retry_backoff=retry_backoff,
+            checkpoint_interval=checkpoint_interval,
+        )
+        for key, result in outcome.results.items():
+            # A cores == 1 spec flows through the single-case worker
+            # branch and comes back bare; normalize to the list shape.
+            results[key] = result if isinstance(result, list) else [result]
+
+    after = TELEMETRY.counters()
+    stats = BatchStats(
+        cases=len(spec_list),
+        unique=len(set(keys)),
+        jobs=jobs,
+        memo_hits=int(after["memo_hits"] - before["memo_hits"]),
+        disk_hits=int(after["disk_hits"] - before["disk_hits"]),
+        simulated=int(
+            after["sim_invocations"] - before["sim_invocations"]
+        ),
+        wall_seconds=time.perf_counter() - start,
+        sim_seconds=after["sim_seconds"] - before["sim_seconds"],
+        uops_simulated=int(
+            after["uops_simulated"] - before["uops_simulated"]
+        ),
+        case_seconds=list(TELEMETRY.case_seconds[sims_before:]),
+        failures=len(outcome.failures),
+        retries=outcome.retries,
+        timeouts=outcome.timeouts,
+        pool_rebuilds=outcome.pool_rebuilds,
+        serial_fallback=outcome.serial_fallback,
+        resumes=outcome.resumes,
+        resumed_instructions=outcome.resumed_instructions,
         failure_reports=dict(outcome.failures),
     )
     global LAST_BATCH

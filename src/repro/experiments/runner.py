@@ -31,7 +31,7 @@ from repro.isa.instructions import Program
 from repro.pipeline import checkpoint as ckpt
 from repro.pipeline.core import CoreSimulator
 from repro.pipeline.result import SimResult
-from repro.workloads.registry import get_workload
+from repro.workloads.registry import get_workload, make_threaded_traces
 
 __all__ = [
     "DEFAULT_WARMUP_FRACTION",
@@ -39,16 +39,22 @@ __all__ = [
     "FusedGroup",
     "clear_cache",
     "execute_fused_checkpointed",
+    "execute_multicore_checkpointed",
     "execute_spec",
     "execute_spec_checkpointed",
+    "get_threaded_traces",
     "get_trace",
     "lookup_cached",
+    "lookup_cached_multicore",
     "run_case",
+    "run_multicore_spec",
     "run_spec",
+    "store_multicore_result",
     "store_result",
 ]
 
 _trace_cache: dict[tuple, Program] = {}
+_threaded_trace_cache: dict[tuple, list[Program]] = {}
 _result_cache: dict[str, SimResult] = {}
 
 
@@ -59,6 +65,7 @@ def clear_cache(*, disk: bool = True) -> int:
     purged as well; returns the number of disk entries removed.
     """
     _trace_cache.clear()
+    _threaded_trace_cache.clear()
     _result_cache.clear()
     if disk:
         return get_disk_cache().purge()
@@ -72,6 +79,17 @@ def get_trace(name: str, instructions: int | None, seed: int) -> Program:
         trace = get_workload(name).make(instructions, seed)
         _trace_cache[key] = trace
     return trace
+
+
+def get_threaded_traces(
+    name: str, cores: int, instructions: int | None, seed: int
+) -> list[Program]:
+    key = (name, cores, instructions, seed)
+    traces = _threaded_trace_cache.get(key)
+    if traces is None:
+        traces = make_threaded_traces(name, cores, instructions, seed)
+        _threaded_trace_cache[key] = traces
+    return traces
 
 
 def execute_spec(spec: CaseSpec) -> SimResult:
@@ -200,6 +218,75 @@ def execute_fused_checkpointed(
     return results, resumed_from
 
 
+def execute_multicore_checkpointed(
+    spec: CaseSpec,
+    interval: int | None,
+    on_checkpoint=None,
+) -> tuple[list[SimResult], int | None]:
+    """Simulate one multi-core case: a cycle-lockstep engine run over a
+    shared L3/DRAM backend, one :class:`SimResult` per core (core order).
+
+    Checkpoints live under the socket-level cache key and snapshot the
+    whole engine (every core plus the shared backend), so a resumed run
+    restores all cores bitwise.  Telemetry counts the engine as a single
+    simulator invocation, mirroring fused groups.  Each core's result
+    passes the invariant guard independently under a ``[coreN]`` label.
+    """
+    from repro.pipeline.multicore import MulticoreSimulator
+
+    if spec.cores == 1:
+        # A 1-core socket IS the historical single-core case (same cache
+        # key, same plain trace); routing it through the threaded
+        # decomposition would publish a different program's result under
+        # that key.
+        result, resumed = execute_spec_checkpointed(
+            spec, interval, on_checkpoint
+        )
+        return [result], resumed
+    traces = get_threaded_traces(
+        spec.workload, spec.cores, spec.instructions, spec.seed
+    )
+    resumed_from: int | None = None
+    sim: MulticoreSimulator | None = None
+    key = spec.key()
+    if interval:
+        found = ckpt.latest_valid_checkpoint(key)
+        if found is not None:
+            _path, payload, meta = found
+            sim = MulticoreSimulator.from_snapshot(payload)
+            resumed_from = int(meta.get("committed_instrs", 0))
+    if sim is None:
+        config = spec.resolved_config()
+        sim = MulticoreSimulator(
+            traces,
+            config,
+            mode=spec.mode,
+            seeds=tuple(
+                spec.simulate_seed + core for core in range(spec.cores)
+            ),
+            warmup_instructions=tuple(
+                int(len(trace) * spec.warmup_fraction) for trace in traces
+            ),
+            collectors=(spec.collector_spec(),),
+        )
+    multi = sim.run(
+        checkpoint_interval=interval,
+        checkpoint_key=key if interval else None,
+        on_checkpoint=on_checkpoint,
+    )
+    results = list(multi.per_core)
+    if len(results) != spec.cores:  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"multicore run produced {len(results)} results for "
+            f"{spec.cores} cores"
+        )
+    TELEMETRY.record_simulation(spec.label(), results[0])
+    if resumed_from is not None:
+        TELEMETRY.record_resume(resumed_from)
+    invariants.verify_per_core_results(results, context=spec.label())
+    return results, resumed_from
+
+
 def lookup_cached(key: str) -> SimResult | None:
     """Memo -> disk lookup for one case key (updating hit counters)."""
     cached = _result_cache.get(key)
@@ -229,6 +316,56 @@ def store_result(key: str, spec: CaseSpec, result: SimResult) -> None:
     if violations:
         return
     get_disk_cache().put(key, spec.fingerprint(), result)
+
+
+def lookup_cached_multicore(spec: CaseSpec) -> list[SimResult] | None:
+    """Cache lookup for every core of a multi-core case, or None.
+
+    All member keys must hit — the engine cannot resimulate a subset of
+    cores (their timing is coupled through the shared backend), so a
+    partial hit is treated as a miss and the whole socket reruns.
+    """
+    if spec.cores == 1:
+        cached = lookup_cached(spec.key())
+        return None if cached is None else [cached]
+    results = []
+    for core in range(spec.cores):
+        cached = lookup_cached(spec.member_key(core))
+        if cached is None:
+            return None
+        results.append(cached)
+    return results
+
+
+def store_multicore_result(
+    spec: CaseSpec, per_core: list[SimResult]
+) -> None:
+    """Publish each core's result under its member key (invariant-gated,
+    same policy as :func:`store_result`)."""
+    for core, result in enumerate(per_core):
+        key = spec.member_key(core)
+        violations = invariants.verify_result(
+            result, context=f"{spec.label()}[core{core}]"
+        )
+        _result_cache[key] = result
+        if not violations:
+            get_disk_cache().put(key, spec.member_fingerprint(core), result)
+
+
+def run_multicore_spec(
+    spec: CaseSpec, *, use_cache: bool = True
+) -> list[SimResult]:
+    """Resolve one multi-core case through the cache hierarchy."""
+    if use_cache:
+        cached = lookup_cached_multicore(spec)
+        if cached is not None:
+            return cached
+    per_core, _resumed = execute_multicore_checkpointed(
+        spec, ckpt.checkpoint_interval_default()
+    )
+    if use_cache:
+        store_multicore_result(spec, per_core)
+    return per_core
 
 
 def run_spec(spec: CaseSpec, *, use_cache: bool = True) -> SimResult:

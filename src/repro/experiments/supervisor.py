@@ -452,11 +452,12 @@ def _corrupt_payload(payload: dict, style: str):
     if style == "garbage":
         return b"\x00not a result payload\x00"
     damaged = dict(payload)
-    if "fused" in damaged:
-        members = [dict(m) for m in damaged["fused"]]
-        members[0] = _corrupt_payload(members[0], style)
-        damaged["fused"] = members
-        return damaged
+    for group_key in ("fused", "cores"):
+        if group_key in damaged:
+            members = [dict(m) for m in damaged[group_key]]
+            members[0] = _corrupt_payload(members[0], style)
+            damaged[group_key] = members
+            return damaged
     if style == "schema":
         damaged["schema"] = -999
     else:  # "cycles": breaks every stack-total identity
@@ -510,7 +511,10 @@ def _supervised_worker(
     starting progress under the ``"_resumed_from"`` key, which the
     parent pops before schema validation.  A :class:`FusedGroup` runs as
     one fused simulation and ships ``{"fused": [payload, ...]}`` with one
-    member payload per spec, in group order.
+    member payload per spec, in group order; a multi-core case
+    (``spec.cores > 1``) runs as one lockstep engine and ships
+    ``{"cores": [payload, ...]}`` with one payload per core, in core
+    order.
     """
     fault = _fault_for(plan, spec, attempt)
     on_checkpoint = None
@@ -545,6 +549,11 @@ def _supervised_worker(
             spec, checkpoint_interval, on_checkpoint
         )
         payload: dict = {"fused": [r.to_dict() for r in results]}
+    elif getattr(spec, "cores", 1) > 1:
+        results, resumed = runner.execute_multicore_checkpointed(
+            spec, checkpoint_interval, on_checkpoint
+        )
+        payload = {"cores": [r.to_dict() for r in results]}
     else:
         result, resumed = runner.execute_spec_checkpointed(
             spec, checkpoint_interval, on_checkpoint
@@ -690,10 +699,55 @@ def validate_group_payload(
     ]
 
 
+def validate_multicore_payload(
+    payload, spec: CaseSpec
+) -> list[SimResult]:
+    """Decode and guard a multi-core payload: one result per core.
+
+    Each core's result is decoded and invariant-checked independently
+    under a ``[coreN]`` context — one core's broken accounting fails the
+    whole socket (the engine retries as a unit; per-core timings are
+    coupled through the shared backend and cannot be recomputed alone).
+    """
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("cores"), list
+    ):
+        raise CorruptPayload(
+            f"worker returned {type(payload).__name__}, not a multi-core "
+            "result payload"
+        )
+    members = payload["cores"]
+    if len(members) != spec.cores:
+        raise CorruptPayload(
+            f"multi-core payload has {len(members)} core results for "
+            f"{spec.cores} cores"
+        )
+    results = []
+    for core, member in enumerate(members):
+        if not isinstance(member, dict):
+            raise CorruptPayload(
+                f"core {core} payload is {type(member).__name__}, not a "
+                "result payload"
+            )
+        try:
+            result = SimResult.from_dict(member)
+        except Exception as exc:
+            raise CorruptPayload(
+                f"undecodable core {core} payload: {exc}"
+            ) from exc
+        invariants.verify_result(
+            result, context=f"{spec.label()}[core{core}]"
+        )
+        results.append(result)
+    return results
+
+
 def _validate(payload, spec):
-    """Route a payload to case or group validation by the item's type."""
+    """Route a payload to case, group or multi-core validation."""
     if isinstance(spec, FusedGroup):
         return validate_group_payload(payload, spec)
+    if getattr(spec, "cores", 1) > 1:
+        return validate_multicore_payload(payload, spec)
     return validate_payload(payload, spec)
 
 
@@ -744,6 +798,15 @@ def _publish(
                 runner.store_result(member_key, member, member_result)
             outcome.results[member_key] = member_result
             discard_failure(member_key)
+        ckpt.clear_checkpoints(key)
+        return
+    if getattr(spec, "cores", 1) > 1:
+        # Per-core results land in the cache under their member keys; the
+        # outcome maps the socket key to the whole per-core list.
+        if use_cache:
+            runner.store_multicore_result(spec, result)
+        outcome.results[key] = result
+        discard_failure(key)
         ckpt.clear_checkpoints(key)
         return
     if use_cache:
@@ -846,12 +909,13 @@ def _pool_round(
                 )
                 retry.append((key, spec))
             else:
-                # One record per actual pipeline run: a fused group is a
-                # single simulator invocation however many members ride
-                # along (the workers' telemetry died with the workers).
+                # One record per actual pipeline run: a fused group or a
+                # multi-core engine is a single simulator invocation
+                # however many members/cores ride along (the workers'
+                # telemetry died with the workers).
                 TELEMETRY.record_simulation(
                     spec.label(),
-                    result[0] if isinstance(spec, FusedGroup) else result,
+                    result[0] if isinstance(result, list) else result,
                 )
                 if case_resumed is not None:
                     # The worker's telemetry died with the worker; the

@@ -468,3 +468,34 @@ def sync_yield(
     )
     _DECODE_MEMO[pc] = (key, instr)
     return instr
+
+
+def barrier(
+    pc: int,
+    cycles: int,
+    *,
+    length: int = DEFAULT_LENGTH,
+) -> Instruction:
+    """Explicit thread barrier with a local release latency of ``cycles``.
+
+    Under the multi-core engine the core parks here until the last
+    sibling arrives; the wait plus the release latency land in the
+    `Unsched` component (Fig. 5).  On a standalone single core (or a
+    1-core engine) nobody can be waited on, so the instruction degrades
+    to exactly ``sync_yield(pc, cycles)``.
+    """
+    if cycles <= 0:
+        raise ValueError("a barrier must cover at least one cycle")
+    key = ("barrier", cycles, length)
+    entry = _DECODE_MEMO.get(pc)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    instr = Instruction(
+        pc=pc,
+        length=length,
+        uops=(MicroOp(UopClass.SYNC),),
+        yield_cycles=cycles,
+        barrier=True,
+    )
+    _DECODE_MEMO[pc] = (key, instr)
+    return instr

@@ -41,12 +41,19 @@ class Instruction:
     decode_cycles: int = 0
     #: Cycles the core is descheduled at this instruction (sync/yield).
     yield_cycles: int = 0
+    #: True for an explicit multi-core barrier: under a
+    #: :class:`~repro.pipeline.multicore.MulticoreSimulator` the core
+    #: additionally parks until every sibling core arrives; standalone it
+    #: behaves exactly like a plain sync/yield of ``yield_cycles``.
+    barrier: bool = False
 
     def __post_init__(self) -> None:
         if self.length <= 0:
             raise ValueError("instruction length must be positive")
         if not self.uops and self.yield_cycles == 0:
             raise ValueError("instruction must carry micro-ops or a yield")
+        if self.barrier and self.yield_cycles <= 0:
+            raise ValueError("a barrier must carry a positive yield latency")
         if self.is_branch and not any(
             u.uclass is UopClass.BRANCH for u in self.uops
         ):

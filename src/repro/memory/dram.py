@@ -25,6 +25,13 @@ class DramModel:
 
     def access(self, now: float) -> float:
         """Request a line at ``now``; returns the completion cycle."""
+        if self.config.cycles_per_line == 0:
+            # Infinite bandwidth: zero channel occupancy, so requests
+            # never queue behind each other (the multi-core engine's
+            # no-contention oracle relies on this being exactly
+            # latency-only with no cross-request coupling).
+            self.accesses += 1
+            return now + self.config.latency
         start = now if now >= self._next_slot else self._next_slot
         self.total_queue_delay += start - now
         self._next_slot = start + self.config.cycles_per_line
@@ -33,6 +40,9 @@ class DramModel:
 
     def writeback(self, now: float) -> None:
         """A dirty-line writeback consumes a bandwidth slot (no reply)."""
+        if self.config.cycles_per_line == 0:
+            self.accesses += 1
+            return
         start = now if now >= self._next_slot else self._next_slot
         self._next_slot = start + self.config.cycles_per_line
         self.accesses += 1

@@ -78,6 +78,38 @@ class _Level:
         self.outstanding: dict[int, float] = {}
 
 
+class SharedMemoryBackend:
+    """Shared back end of a multi-core socket: the L3 level and DRAM.
+
+    Built once by :class:`repro.pipeline.multicore.MulticoreSimulator`
+    and handed to every per-core :class:`MemoryHierarchy` via
+    ``shared=``: the cores substitute this backend's L3 level (cache +
+    MSHR file + outstanding fill map) and DRAM model for private ones,
+    so shared-level MSHR occupancy and DRAM bandwidth are arbitrated
+    across cores in the deterministic order the engine steps them.
+    L1I/L1D/L2, TLBs and the prefetcher stay private per core; configs
+    without an L3 (KNL) share only DRAM.  Construction is
+    field-for-field identical to the private path — that is what makes
+    the engine's 1-core bitwise-identity guarantee hold.
+    """
+
+    __slots__ = ("config", "fast_path", "l3", "l3_level", "dram")
+
+    def __init__(
+        self, config: MemoryConfig, *, fast_path: bool | None = None
+    ) -> None:
+        self.config = config
+        self.fast_path = (
+            not legacy_memory_default() if fast_path is None else fast_path
+        )
+        cache_cls = Cache if self.fast_path else LegacyCache
+        self.l3 = (
+            cache_cls(config.l3, "L3") if config.l3 is not None else None
+        )
+        self.l3_level = _Level(self.l3) if self.l3 is not None else None
+        self.dram = DramModel(config.dram)
+
+
 class MemoryHierarchy:
     """Split L1I/L1D over unified L2 (and optional L3) over DRAM."""
 
@@ -88,6 +120,7 @@ class MemoryHierarchy:
         perfect_icache: bool = False,
         perfect_dcache: bool = False,
         fast_path: bool | None = None,
+        shared: SharedMemoryBackend | None = None,
     ) -> None:
         self.config = config
         self.perfect_icache = perfect_icache
@@ -95,25 +128,39 @@ class MemoryHierarchy:
         self.fast_path = (
             not legacy_memory_default() if fast_path is None else fast_path
         )
+        if shared is not None and shared.fast_path != self.fast_path:
+            raise ValueError(
+                "shared memory backend and core hierarchy disagree on "
+                "the memory fast path"
+            )
         cache_cls = Cache if self.fast_path else LegacyCache
         tlb_cls = Tlb if self.fast_path else LegacyTlb
         self.l1i = cache_cls(config.l1i, "L1I")
         self.l1d = cache_cls(config.l1d, "L1D")
         self.l2 = cache_cls(config.l2, "L2")
-        self.l3 = (
-            cache_cls(config.l3, "L3") if config.l3 is not None else None
-        )
-        self.dram = DramModel(config.dram)
+        if shared is not None:
+            self.l3 = shared.l3
+            self.dram = shared.dram
+        else:
+            self.l3 = (
+                cache_cls(config.l3, "L3") if config.l3 is not None else None
+            )
+            self.dram = DramModel(config.dram)
         self.itlb = tlb_cls(config.itlb)
         self.dtlb = tlb_cls(config.dtlb)
         self.prefetcher = StreamPrefetcher(
             config.prefetcher, config.l1d.line_bytes
         )
-        shared = [_Level(self.l2)]
+        shared_levels = [_Level(self.l2)]
         if self.l3 is not None:
-            shared.append(_Level(self.l3))
-        self._ichain = [_Level(self.l1i), *shared]
-        self._dchain = [_Level(self.l1d), *shared]
+            # The L3 level (cache + MSHR + outstanding fills) is the
+            # sharing seam: under a shared backend every core's chains
+            # end in the *same* level object.
+            shared_levels.append(
+                shared.l3_level if shared is not None else _Level(self.l3)
+            )
+        self._ichain = [_Level(self.l1i), *shared_levels]
+        self._dchain = [_Level(self.l1d), *shared_levels]
         self.prefetches_issued = 0
         #: Min-heap of scheduled fill completion times (all levels), for
         #: the fast-forward engine's ``next_event`` query.

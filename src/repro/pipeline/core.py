@@ -160,6 +160,7 @@ class CoreSimulator:
         replay: bool | None = None,
         memory_fast_path: bool | None = None,
         collectors: "tuple[CollectorSpec, ...] | list[CollectorSpec] | None" = None,
+        shared_backend=None,
     ) -> None:
         if config.memory is None:
             raise ValueError("core configuration needs a memory hierarchy")
@@ -177,11 +178,15 @@ class CoreSimulator:
             if memory_fast_path is None
             else memory_fast_path
         )
+        # ``shared_backend`` (a SharedMemoryBackend) substitutes a
+        # socket-shared L3 + DRAM for the private ones; the multi-core
+        # engine owns the backend and steps its member cores externally.
         self.hierarchy = MemoryHierarchy(
             config.memory,
             perfect_icache=config.perfect_icache,
             perfect_dcache=config.perfect_dcache,
             fast_path=self._memory_fast,
+            shared=shared_backend,
         )
         self.predictor = make_predictor(
             config.predictor, config.predictor_bits, config.btb_entries
@@ -258,6 +263,15 @@ class CoreSimulator:
         self.committed_uops = 0
         self.committed_instrs = 0
         self.unsched_remaining = 0
+        #: Index of this core within a multi-core engine (0 standalone).
+        self.core_id = 0
+        #: Multi-core barrier plumbing: the engine installs a hook called
+        #: at barrier commit; while ``barrier_waiting`` the core is parked
+        #: (the engine stops stepping it) until the last sibling arrives
+        #: and the engine converts the wait into ``unsched_remaining``.
+        #: Standalone (hook is None) a barrier degrades to a plain yield.
+        self._barrier_hook = None
+        self.barrier_waiting = False
         self._spec_mode = mode is WrongPathMode.SPECULATIVE
         # Warmup emulates the paper's fast-forward: caches, TLBs and the
         # branch predictor train during the first ``warmup_instructions``
@@ -570,7 +584,40 @@ class CoreSimulator:
             and not self.rob
             and not self.uop_queue
             and self.unsched_remaining == 0
+            and not self.barrier_waiting
         )
+
+    def unfinished(self) -> bool:
+        """True while stepping this core can still make progress.
+
+        The exact predicate of the :meth:`run` hot loop (plus barrier
+        parking), exposed for external steppers — the multi-core engine
+        drives cores one cycle at a time and needs per-core completion.
+        """
+        frontend = self.frontend
+        return bool(
+            self.rob
+            or self.uop_queue
+            or self.unsched_remaining != 0
+            or self.barrier_waiting
+            or frontend.waiting_sync is not None
+            or frontend.wrong_path
+            or frontend._idx < frontend._count
+            or frontend._decoded_idx < frontend._decoded_len
+        )
+
+    def step_cycle(self) -> None:
+        """Advance exactly one simulated step (external-stepping hook).
+
+        One call advances :attr:`cycle` by at least one (a fast-forward
+        or replay window advances it further in the same call).  Callers
+        own loop control: check :meth:`unfinished` before stepping and
+        bound runaway cycles themselves.
+        """
+        if self._event:
+            self._step_event()
+        else:
+            self._step()
 
     # -- checkpoint / resume -----------------------------------------------------
 
@@ -602,6 +649,34 @@ class CoreSimulator:
         :meth:`_resolve_issue_obs` pops from the ``_nonready`` deques,
         which would diverge from the uninterrupted run.
         """
+        return pickle.dumps(
+            {
+                "program": self.program,
+                "config": self.config,
+                "kwargs": {
+                    "mode": self.mode,
+                    "seed": self._seed,
+                    "warmup_instructions": self.warmup_instructions,
+                    "fast_forward": self._fast_forward,
+                    "legacy_issue_scan": self._legacy_scan,
+                    "replay": self._replay_enabled,
+                    "memory_fast_path": self._memory_fast,
+                    # The full collector-spec tuple: restoring a fused
+                    # run must bring back *all* attached collectors.
+                    "collectors": self._collector_specs,
+                },
+                "state": self._state_dict(),
+            }
+        )
+
+    def _state_dict(self) -> dict:
+        """The picklable mutable-state mapping :meth:`snapshot` wraps.
+
+        Exposed separately so the multi-core engine can compose per-core
+        states into one engine-level snapshot (one ``pickle.dumps`` for
+        identity preservation) without duplicating program/config/kwargs
+        per core.
+        """
         obs_cache = tuple(
             _PENDING_TOKEN if value is _PENDING else value
             for value in self._issue_obs_cache
@@ -619,6 +694,7 @@ class CoreSimulator:
             "committed_uops": self.committed_uops,
             "committed_instrs": self.committed_instrs,
             "unsched_remaining": self.unsched_remaining,
+            "barrier_waiting": self.barrier_waiting,
             "warmed": self._warmed,
             "measure_cycle0": self._measure_cycle0,
             "measure_uops0": self._measure_uops0,
@@ -651,25 +727,7 @@ class CoreSimulator:
             "frontend": self.frontend.snapshot(),
             "fu": self.fu.snapshot(),
         }
-        return pickle.dumps(
-            {
-                "program": self.program,
-                "config": self.config,
-                "kwargs": {
-                    "mode": self.mode,
-                    "seed": self._seed,
-                    "warmup_instructions": self.warmup_instructions,
-                    "fast_forward": self._fast_forward,
-                    "legacy_issue_scan": self._legacy_scan,
-                    "replay": self._replay_enabled,
-                    "memory_fast_path": self._memory_fast,
-                    # The full collector-spec tuple: restoring a fused
-                    # run must bring back *all* attached collectors.
-                    "collectors": self._collector_specs,
-                },
-                "state": state,
-            }
-        )
+        return state
 
     def _restore_state(self, state: dict) -> None:
         """Inverse of :meth:`snapshot` on a freshly constructed simulator.
@@ -694,6 +752,8 @@ class CoreSimulator:
         self.committed_uops = state["committed_uops"]
         self.committed_instrs = state["committed_instrs"]
         self.unsched_remaining = state["unsched_remaining"]
+        # .get(): snapshots from before the multi-core engine lack it.
+        self.barrier_waiting = state.get("barrier_waiting", False)
         self._warmed = state["warmed"]
         self._measure_cycle0 = state["measure_cycle0"]
         self._measure_uops0 = state["measure_uops0"]
@@ -1177,7 +1237,15 @@ class CoreSimulator:
                     if uop.is_branch and spec_mode and collector is not None:
                         collector.on_block_commit(uop.block_id)
                     if instr is not None and instr.yield_cycles > 0:
-                        self.unsched_remaining = instr.yield_cycles
+                        if instr.barrier and self._barrier_hook is not None:
+                            # Park until the last sibling core arrives;
+                            # the engine's release converts the wait into
+                            # unsched_remaining (a 1-core engine releases
+                            # immediately, reducing to the else branch).
+                            self.barrier_waiting = True
+                            self._barrier_hook(self, instr)
+                        else:
+                            self.unsched_remaining = instr.yield_cycles
                         stop = True
                 dst = uop.uop.dst
                 if dst >= 0 and last_writer[dst] is uop:
@@ -1898,7 +1966,11 @@ class CoreSimulator:
                     self.collector.on_block_commit(uop.block_id)
                 if instr is not None and instr.yield_cycles > 0:
                     # Sync point: the core deschedules starting next cycle.
-                    self.unsched_remaining = instr.yield_cycles
+                    if instr.barrier and self._barrier_hook is not None:
+                        self.barrier_waiting = True
+                        self._barrier_hook(self, instr)
+                    else:
+                        self.unsched_remaining = instr.yield_cycles
                     stop = True
             # Retirement severs the rename-table entry (rename skips done
             # producers, so dropping it is semantically a no-op) and

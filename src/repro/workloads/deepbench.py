@@ -189,72 +189,185 @@ def conv_trace(
         raise ValueError("conv phase must be fwd, bwd_d or bwd_f")
     b = TraceBuilder(f"conv-{phase}-{config.name}", seed)
     edge_lanes = _mask_lanes(config, vector_lanes)
-    # Forward convolutions are blocked into a near-L1-resident tile (IPC
-    # stays near ideal, Fig. 5); the backward phases touch wider footprints.
-    footprint_lines = 640 if phase == "fwd" else 4096
     idx = 0
     since_sync = 0
     iteration = 0
-    n_acc = 12 if phase == "fwd" else (8 if phase == "bwd_d" else 2)
     loop_pc = b.pc
     reshuffle_pc = b.pc + 0x400
     while len(b) < instructions:
         iteration += 1
-        if iteration % 3 == 0:
-            # im2col-style reshuffle burst: no VFP work at all -- these
-            # stretches produce the FLOPS `frontend` component (Fig. 4/5).
-            b.at(reshuffle_pc)
-            for _ in range(3):
-                addr = DATA_BASE + 0x300000 + (idx % 64) * LINE
-                b.emit(asm.load(b.pc, dst=4, addr=addr, addr_srcs=(2,)))
-                b.emit(
-                    asm.vec_int(b.pc, dst=53, srcs=(53,),
-                                lanes=vector_lanes,
-                                width_lanes=vector_lanes)
-                )
-                b.emit(asm.alu(b.pc, dst=2, srcs=(4,)))
-            b.emit(
-                asm.branch(b.pc, taken=True, target=loop_pc, srcs=(2,))
-            )
-            since_sync += 10
-        b.at(loop_pc)
-        # Address arithmetic for the window walk.
-        b.emit(asm.alu(b.pc, dst=2, srcs=(1,)))
-        b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
-        # Data reshuffle on the vector unit (non-VFP vector work).
-        b.emit(
-            asm.vec_int(b.pc, dst=52, srcs=(52,), lanes=vector_lanes,
-                        width_lanes=vector_lanes)
+        idx, work = _emit_conv_iteration(
+            b, phase, iteration, idx, loop_pc, reshuffle_pc, DATA_BASE,
+            vector_lanes, edge_lanes,
         )
-        if phase == "fwd":
-            stride = 2
-            fma_count = 4
-        elif phase == "bwd_d":
-            stride = 37  # scattered gradient accesses
-            fma_count = 3
-        else:
-            stride = 5
-            fma_count = 5
-        for step in range(fma_count):
-            acc = _ACC_REGS[step % n_acc]
-            lanes = (
-                edge_lanes if (idx + step) % 6 == 5 else vector_lanes
-            )
-            addr = DATA_BASE + (idx % footprint_lines) * LINE
-            idx += stride
-            b.emit(
-                asm.fma(
-                    b.pc, dst=acc,
-                    srcs=(acc, _B_REGS[step % len(_B_REGS)]),
-                    lanes=lanes, width_lanes=vector_lanes,
-                    mem_addr=addr, addr_srcs=(2,),
-                )
-            )
-        # Pointer updates and loop control.
-        b.emit(asm.alu(b.pc, dst=1, srcs=(3,)))
-        b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
-        since_sync += fma_count + 5
+        since_sync += work
         if since_sync >= sync_interval:
             since_sync = 0
             b.emit(asm.sync_yield(b.pc, sync_cycles))
     return b.program()
+
+
+def _emit_conv_iteration(
+    b: TraceBuilder,
+    phase: str,
+    iteration: int,
+    idx: int,
+    loop_pc: int,
+    reshuffle_pc: int,
+    base: int,
+    vector_lanes: int,
+    edge_lanes: int,
+) -> tuple[int, int]:
+    """Emit one conv inner-loop iteration rooted at ``base``.
+
+    Shared by the single-threaded and threaded generators (``base``
+    offsets give each thread a disjoint data partition).  Returns the
+    advanced access index and the iteration's work units — the budget the
+    callers' sync/barrier cadence is measured in.
+    """
+    # Forward convolutions are blocked into a near-L1-resident tile (IPC
+    # stays near ideal, Fig. 5); the backward phases touch wider footprints.
+    footprint_lines = 640 if phase == "fwd" else 4096
+    n_acc = 12 if phase == "fwd" else (8 if phase == "bwd_d" else 2)
+    work = 0
+    if iteration % 3 == 0:
+        # im2col-style reshuffle burst: no VFP work at all -- these
+        # stretches produce the FLOPS `frontend` component (Fig. 4/5).
+        b.at(reshuffle_pc)
+        for _ in range(3):
+            addr = base + 0x300000 + (idx % 64) * LINE
+            b.emit(asm.load(b.pc, dst=4, addr=addr, addr_srcs=(2,)))
+            b.emit(
+                asm.vec_int(b.pc, dst=53, srcs=(53,),
+                            lanes=vector_lanes,
+                            width_lanes=vector_lanes)
+            )
+            b.emit(asm.alu(b.pc, dst=2, srcs=(4,)))
+        b.emit(
+            asm.branch(b.pc, taken=True, target=loop_pc, srcs=(2,))
+        )
+        work += 10
+    b.at(loop_pc)
+    # Address arithmetic for the window walk.
+    b.emit(asm.alu(b.pc, dst=2, srcs=(1,)))
+    b.emit(asm.alu(b.pc, dst=3, srcs=(2,)))
+    # Data reshuffle on the vector unit (non-VFP vector work).
+    b.emit(
+        asm.vec_int(b.pc, dst=52, srcs=(52,), lanes=vector_lanes,
+                    width_lanes=vector_lanes)
+    )
+    if phase == "fwd":
+        stride = 2
+        fma_count = 4
+    elif phase == "bwd_d":
+        stride = 37  # scattered gradient accesses
+        fma_count = 3
+    else:
+        stride = 5
+        fma_count = 5
+    for step in range(fma_count):
+        acc = _ACC_REGS[step % n_acc]
+        lanes = (
+            edge_lanes if (idx + step) % 6 == 5 else vector_lanes
+        )
+        addr = base + (idx % footprint_lines) * LINE
+        idx += stride
+        b.emit(
+            asm.fma(
+                b.pc, dst=acc,
+                srcs=(acc, _B_REGS[step % len(_B_REGS)]),
+                lanes=lanes, width_lanes=vector_lanes,
+                mem_addr=addr, addr_srcs=(2,),
+            )
+        )
+    # Pointer updates and loop control.
+    b.emit(asm.alu(b.pc, dst=1, srcs=(3,)))
+    b.emit(asm.branch(b.pc, taken=True, target=loop_pc, srcs=(1,)))
+    work += fma_count + 5
+    return idx, work
+
+
+#: Address-space stride between thread data partitions (16 MB: far beyond
+#: any kernel footprint, so threads never share a cache line).
+_THREAD_STRIDE = 0x100_0000
+
+
+def threaded_conv_traces(
+    config: DeepBenchKernel,
+    phase: str,
+    threads: int,
+    instructions: int = 24_000,
+    seed: int = 1,
+    *,
+    vector_lanes: int = 16,
+    sync_interval: int = 4000,
+    sync_cycles: int = 150,
+    imbalance: float = 0.3,
+) -> list[Program]:
+    """Per-thread conv traces for the shared-memory multi-core engine.
+
+    An OpenMP-style static decomposition of the convolution across
+    ``threads`` workers: thread ``t`` walks a disjoint data partition
+    (``base + t * _THREAD_STRIDE``) and joins its siblings at an explicit
+    :func:`repro.isa.decoder.barrier` at the end of every work interval.
+    Every thread emits the *same number* of barriers, so barrier ``k`` in
+    each trace pairs with barrier ``k`` in every other.
+
+    The decomposition is deliberately imbalanced (uneven tile borders):
+    thread ``t`` performs ``1 + imbalance * t / (threads - 1)`` times the
+    base interval work, so earlier threads arrive first and accumulate
+    Unsched cycles waiting — the source of the nonzero per-core Unsched
+    components in the Fig. 5 conv stacks.  ``threads == 1`` degrades to a
+    single trace whose barriers behave as plain sync yields.
+
+    ``instructions`` budgets the *base* thread; slower threads are
+    proportionally longer.  Thread ``t`` seeds its builder with
+    ``seed + 7919 * t`` so any randomized content diverges per thread.
+    """
+    if phase not in ("fwd", "bwd_d", "bwd_f"):
+        raise ValueError("conv phase must be fwd, bwd_d or bwd_f")
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    if imbalance < 0:
+        raise ValueError("imbalance must be non-negative")
+    edge_lanes = _mask_lanes(config, vector_lanes)
+
+    def build(thread: int, n_intervals: int | None) -> tuple[Program, int]:
+        b = TraceBuilder(
+            f"conv-{phase}-{config.name}-t{thread}", seed + 7919 * thread
+        )
+        base = DATA_BASE + thread * _THREAD_STRIDE
+        if threads > 1:
+            quota = sync_interval * (
+                1.0 + imbalance * thread / (threads - 1)
+            )
+        else:
+            quota = float(sync_interval)
+        idx = 0
+        iteration = 0
+        intervals = 0
+        loop_pc = b.pc
+        reshuffle_pc = b.pc + 0x400
+        while True:
+            since_sync = 0
+            while since_sync < quota:
+                iteration += 1
+                idx, work = _emit_conv_iteration(
+                    b, phase, iteration, idx, loop_pc, reshuffle_pc,
+                    base, vector_lanes, edge_lanes,
+                )
+                since_sync += work
+            b.emit(asm.barrier(b.pc, sync_cycles))
+            intervals += 1
+            if n_intervals is None:
+                if len(b) >= instructions:
+                    return b.program(), intervals
+            elif intervals >= n_intervals:
+                return b.program(), intervals
+
+    first, n_intervals = build(0, None)
+    programs = [first]
+    for thread in range(1, threads):
+        program, _ = build(thread, n_intervals)
+        programs.append(program)
+    return programs

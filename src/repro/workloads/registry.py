@@ -9,7 +9,14 @@ from repro.workloads.deepbench import (
     DEEPBENCH_CONFIGS,
     conv_trace,
     sgemm_trace,
+    threaded_conv_traces,
 )
+
+#: Workloads with a native threaded decomposition: registry name ->
+#: factory(threads, instructions, seed) returning one trace per thread.
+#: Filled by :func:`_register_deepbench`; everything else falls back to
+#: per-thread seed cloning in :func:`make_threaded_traces`.
+THREADED_FACTORIES: dict = {}
 
 #: SPEC-CPU-2017-like workloads used for multi-stage CPI stack evaluation.
 _SPEC_SPECS = (
@@ -106,6 +113,13 @@ def _register_deepbench() -> None:
                     ),
                     default_instructions=20_000,
                 )
+                # Convolutions decompose natively across threads (the
+                # Fig. 5 multi-core workload): disjoint partitions with
+                # imbalanced barrier intervals.
+                THREADED_FACTORIES[name] = (
+                    lambda threads, n, s, c=config, ph=phase:
+                    threaded_conv_traces(c, ph, threads, n, s)
+                )
 
 
 _register_deepbench()
@@ -126,3 +140,32 @@ def make_trace(
 ) -> Program:
     """Build the named workload's trace."""
     return get_workload(name).make(instructions, seed)
+
+
+def make_threaded_traces(
+    name: str,
+    threads: int,
+    instructions: int | None = None,
+    seed: int = 1,
+) -> list[Program]:
+    """Build one trace per thread for a multi-core run of ``name``.
+
+    Workloads with a native decomposition (:data:`THREADED_FACTORIES` —
+    the DeepBench convolutions) produce disjoint, barrier-synchronized,
+    deliberately imbalanced partitions.  Every other workload falls back
+    to independent per-thread instances seeded ``seed + t`` — the
+    paper's homogeneous-multiprogramming methodology, minus any
+    synchronization.  Thread order is pinned: entry ``t`` of the result
+    always belongs to thread ``t``.
+    """
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    spec = get_workload(name)
+    factory = THREADED_FACTORIES.get(name)
+    if factory is not None:
+        count = (
+            instructions if instructions is not None
+            else spec.default_instructions
+        )
+        return factory(threads, count, seed)
+    return [spec.make(instructions, seed + t) for t in range(threads)]

@@ -176,6 +176,15 @@ def test_keep_going_incomplete_socket_fails_cleanly(capsys, monkeypatch):
                  "--threads", "2", "--instructions", "1500", "--keep-going"])
     assert code == 1
     captured = capsys.readouterr()
+    assert "needs the whole 2-core engine run" in captured.err
+    supervisor.clear_failures()
+    clear_cache()
+    # The homogeneous oracle path reports per-thread holes the same way.
+    code = main(["socket", "--workload", "exchange2", "--core", "tiny",
+                 "--threads", "2", "--instructions", "1500", "--keep-going",
+                 "--homogeneous"])
+    assert code == 1
+    captured = capsys.readouterr()
     assert "needs all 2 threads" in captured.err
     supervisor.clear_failures()
     clear_cache()

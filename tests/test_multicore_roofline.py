@@ -11,7 +11,7 @@ from repro.experiments.runner import run_case
 
 def test_socket_aggregation_shapes():
     result = simulate_socket("exchange2", tiny_core(), threads=3,
-                             instructions=2000)
+                             instructions=2000, homogeneous=True)
     assert result.threads == 3
     assert len(result.per_thread) == 3
     # Component-per-component average: totals average too.
@@ -23,24 +23,24 @@ def test_socket_aggregation_shapes():
 def test_socket_homogeneity_of_regular_kernel():
     """Paper premise: 'all threads show homogeneous behavior'."""
     result = simulate_socket("exchange2", tiny_core(), threads=3,
-                             instructions=2000)
+                             instructions=2000, homogeneous=True)
     assert result.homogeneity() < 0.05
 
 
 def test_socket_aggregate_matches_single_thread_shape():
     single = simulate_socket("imagick", tiny_core(), threads=1,
-                             instructions=2000)
+                             instructions=2000, homogeneous=True)
     multi = simulate_socket("imagick", tiny_core(), threads=3,
-                            instructions=2000)
+                            instructions=2000, homogeneous=True)
     assert multi.cpi == pytest.approx(single.cpi, rel=0.15)
 
 
 def test_socket_flops_scales_with_threads():
     config = skylake_x()
     two = simulate_socket("gemm-train-1760-skx", config, threads=2,
-                          instructions=2000)
+                          instructions=2000, homogeneous=True)
     four = simulate_socket("gemm-train-1760-skx", config, threads=4,
-                           instructions=2000)
+                           instructions=2000, homogeneous=True)
     assert four.socket_gflops() == pytest.approx(
         2 * two.socket_gflops(), rel=0.1
     )
